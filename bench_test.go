@@ -1,0 +1,280 @@
+package ivm
+
+// One testing.B benchmark per paper table/figure, exercising the same
+// code paths as cmd/hotdog at reduced scale. Absolute rates are
+// machine-dependent; the relative shapes are what the reproduction
+// claims (see EXPERIMENTS.md).
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/cachesim"
+	"repro/internal/cluster"
+	"repro/internal/compile"
+	"repro/internal/dist"
+	"repro/internal/mring"
+	"repro/internal/tpcds"
+	"repro/internal/tpch"
+)
+
+const benchSF = 0.2
+
+// streamThrough drives one full TPC-H stream through an executor.
+func streamThrough(b *testing.B, name string, batchSize int, single bool) {
+	b.Helper()
+	q, err := tpch.QueryByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := compile.Compile(q.Name, q.Def, q.BaseSchemas(), compile.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	tuples := 0
+	for i := 0; i < b.N; i++ {
+		ex := compile.NewExecutor(prog)
+		ex.SingleTuple = single
+		gen := tpch.NewGenerator(benchSF, 1)
+		init := map[string]*mring.Relation{}
+		for _, tbl := range q.Tables {
+			if tbl == tpch.Nation || tbl == tpch.Region {
+				init[tbl] = gen.Static(tbl)
+			} else {
+				init[tbl] = mring.NewRelation(tpch.Schemas[tbl])
+			}
+		}
+		ex.InitFromBases(init)
+		stream := tpch.NewStream(gen, q.Tables)
+		for {
+			bs := stream.NextBatches(batchSize)
+			if len(bs) == 0 {
+				break
+			}
+			for _, batch := range bs {
+				tuples += batch.Rel.Len()
+				ex.ApplyBatch(batch.Table, batch.Rel)
+			}
+		}
+	}
+	b.ReportMetric(float64(tuples)/b.Elapsed().Seconds(), "tuples/sec")
+}
+
+// BenchmarkFig7 sweeps batch sizes on representative TPC-H queries
+// (single-tuple baseline included as bs=0).
+func BenchmarkFig7(b *testing.B) {
+	for _, name := range []string{"Q1", "Q3", "Q6", "Q17", "Q20"} {
+		b.Run(name+"/single", func(b *testing.B) { streamThrough(b, name, 1, true) })
+		for _, bs := range []int{1, 100, 1000, 10000} {
+			b.Run(fmt.Sprintf("%s/bs=%d", name, bs), func(b *testing.B) {
+				streamThrough(b, name, bs, false)
+			})
+		}
+	}
+}
+
+// BenchmarkFig8 compares the three engines on Q17.
+func BenchmarkFig8(b *testing.B) {
+	q, err := tpch.QueryByName("Q17")
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, mk func() baseline.Engine) {
+		tuples := 0
+		for i := 0; i < b.N; i++ {
+			e := mk()
+			gen := tpch.NewGenerator(benchSF/4, 1)
+			stream := tpch.NewStream(gen, q.Tables)
+			for {
+				bs := stream.NextBatches(1000)
+				if len(bs) == 0 {
+					break
+				}
+				for _, batch := range bs {
+					tuples += batch.Rel.Len()
+					e.ApplyBatch(batch.Table, batch.Rel)
+				}
+			}
+		}
+		b.ReportMetric(float64(tuples)/b.Elapsed().Seconds(), "tuples/sec")
+	}
+	b.Run("reeval", func(b *testing.B) {
+		run(b, func() baseline.Engine { return baseline.NewReEval(q.Def, q.BaseSchemas()) })
+	})
+	b.Run("classical", func(b *testing.B) {
+		run(b, func() baseline.Engine { return baseline.NewClassicalIVM(q.Def, q.BaseSchemas()) })
+	})
+	b.Run("recursive", func(b *testing.B) { streamThrough(b, "Q17", 1000, false) })
+}
+
+// BenchmarkTable1 covers the full grid's recursive-IVM column.
+func BenchmarkTable1(b *testing.B) {
+	for _, q := range tpch.Queries() {
+		b.Run(q.Name, func(b *testing.B) { streamThrough(b, q.Name, 1000, false) })
+	}
+}
+
+// BenchmarkTable2 measures maintenance with the cache simulator attached.
+func BenchmarkTable2(b *testing.B) {
+	q, _ := tpch.QueryByName("Q3")
+	prog, err := compile.Compile(q.Name, q.Def, q.BaseSchemas(), compile.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		ex := compile.NewExecutor(prog)
+		h := cachesim.NewHierarchy()
+		ex.Tracer = func(string, uint64) {}
+		_ = h
+		gen := tpch.NewGenerator(benchSF/2, 1)
+		stream := tpch.NewStream(gen, q.Tables)
+		for {
+			bs := stream.NextBatches(1000)
+			if len(bs) == 0 {
+				break
+			}
+			for _, batch := range bs {
+				ex.ApplyBatch(batch.Table, batch.Rel)
+			}
+		}
+	}
+}
+
+// BenchmarkFig12 is the TPC-DS local sweep.
+func BenchmarkFig12(b *testing.B) {
+	for _, q := range tpcds.Queries() {
+		q := q
+		b.Run(q.Name, func(b *testing.B) {
+			prog, err := compile.Compile(q.Name, q.Def, q.BaseSchemas(), compile.DefaultOptions())
+			if err != nil {
+				b.Fatal(err)
+			}
+			tuples := 0
+			for i := 0; i < b.N; i++ {
+				ex := compile.NewExecutor(prog)
+				gen := tpcds.NewGenerator(benchSF, 1)
+				init := map[string]*mring.Relation{}
+				for _, tbl := range q.Tables {
+					if tbl == tpcds.StoreSales {
+						init[tbl] = mring.NewRelation(tpcds.Schemas[tbl])
+					} else {
+						init[tbl] = gen.Static(tbl)
+					}
+				}
+				ex.InitFromBases(init)
+				next := gen.FactBatches(1000)
+				for batch := next(); batch != nil; batch = next() {
+					tuples += batch.Len()
+					ex.ApplyBatch(tpcds.StoreSales, batch)
+				}
+			}
+			b.ReportMetric(float64(tuples)/b.Elapsed().Seconds(), "tuples/sec")
+		})
+	}
+}
+
+// benchDistributed drives one distributed deployment.
+func benchDistributed(b *testing.B, name string, workers, batch int, level dist.OptLevel) {
+	b.Helper()
+	q, err := tpch.QueryByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := compile.Compile(q.Name, q.Def, q.BaseSchemas(), compile.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	parts := dist.ChoosePartitioning(prog, tpch.PrimaryKeyRanks)
+	dprogs := dist.CompileProgram(prog, parts, level)
+	var virtual float64
+	tuples := 0
+	for i := 0; i < b.N; i++ {
+		cl := cluster.New(cluster.DefaultConfig(workers), dist.ViewSchemas(prog), parts)
+		gen := tpch.NewGenerator(1, 1)
+		stream := tpch.NewStream(gen, q.Tables)
+		for r := 0; r < 3; r++ {
+			for _, batchRel := range stream.NextBatches(batch) {
+				frags := make([]*mring.Relation, workers)
+				for f := range frags {
+					frags[f] = mring.NewRelation(batchRel.Rel.Schema())
+				}
+				j := 0
+				batchRel.Rel.Foreach(func(t mring.Tuple, m float64) {
+					frags[j%workers].Add(t, m)
+					j++
+				})
+				m, err := cl.RunPartitioned(dprogs[batchRel.Table], frags)
+				if err != nil {
+					b.Fatal(err)
+				}
+				virtual += m.Latency.Seconds()
+				tuples += batchRel.Rel.Len()
+			}
+		}
+	}
+	b.ReportMetric(virtual/float64(b.N), "virtual-sec/stream")
+	b.ReportMetric(float64(tuples)/b.Elapsed().Seconds(), "tuples/sec")
+}
+
+// BenchmarkFig9 is the weak-scaling sweep.
+func BenchmarkFig9(b *testing.B) {
+	for _, name := range []string{"Q6", "Q17", "Q3", "Q7"} {
+		for _, w := range []int{8, 32, 128} {
+			b.Run(fmt.Sprintf("%s/w=%d", name, w), func(b *testing.B) {
+				benchDistributed(b, name, w, 200*w, dist.O3)
+			})
+		}
+	}
+}
+
+// BenchmarkFig10 is the strong-scaling sweep.
+func BenchmarkFig10(b *testing.B) {
+	for _, name := range []string{"Q6", "Q3"} {
+		for _, w := range []int{8, 32, 128} {
+			b.Run(fmt.Sprintf("%s/w=%d", name, w), func(b *testing.B) {
+				benchDistributed(b, name, w, 20000, dist.O3)
+			})
+		}
+	}
+}
+
+// BenchmarkFig13 is the optimization-level ablation on Q3.
+func BenchmarkFig13(b *testing.B) {
+	for lv := dist.O0; lv <= dist.O3; lv++ {
+		b.Run(fmt.Sprintf("O%d", lv), func(b *testing.B) {
+			benchDistributed(b, "Q3", 16, 4000, lv)
+		})
+	}
+}
+
+// BenchmarkTable3 measures distributed compilation itself.
+func BenchmarkTable3(b *testing.B) {
+	q, _ := tpch.QueryByName("Q3")
+	prog, err := compile.Compile(q.Name, q.Def, q.BaseSchemas(), compile.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	parts := dist.ChoosePartitioning(prog, tpch.PrimaryKeyRanks)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dist.CompileProgram(prog, parts, dist.O3)
+	}
+}
+
+// BenchmarkFig5 measures block fusion itself.
+func BenchmarkFig5(b *testing.B) {
+	q, _ := tpch.QueryByName("Q3")
+	prog, err := compile.Compile(q.Name, q.Def, q.BaseSchemas(), compile.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	parts := dist.ChoosePartitioning(prog, tpch.PrimaryKeyRanks)
+	unfused := dist.CompileProgram(prog, parts, dist.O1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, dp := range unfused {
+			dist.FuseBlocks(dp.Blocks)
+		}
+	}
+}

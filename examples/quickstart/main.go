@@ -1,0 +1,53 @@
+// Quickstart: maintain a grouped join aggregate incrementally.
+//
+// The query is Example 2.1 of the paper: COUNT(*) over the natural join
+// of R(A,B), S(B,C), T(C,D), grouped by B. The engine compiles it into a
+// recursive maintenance program (inspect it with Program()); every batch
+// refreshes the result in time proportional to the batch, not the data.
+package main
+
+import (
+	"fmt"
+
+	ivm "repro"
+)
+
+func main() {
+	query := ivm.Sum([]string{"B"}, ivm.Join(
+		ivm.Table("R", "A", "B"),
+		ivm.Table("S", "B", "C"),
+		ivm.Table("T", "C", "D")))
+
+	eng, err := ivm.NewEngine("Q", query, map[string]ivm.Schema{
+		"R": {"A", "B"}, "S": {"B", "C"}, "T": {"C", "D"},
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Println("compiled maintenance program:")
+	fmt.Println(eng.Program())
+
+	// Stream some updates.
+	r := ivm.NewBatch(ivm.Schema{"A", "B"})
+	r.Insert(ivm.Row(1, 10))
+	r.Insert(ivm.Row(2, 10))
+	eng.ApplyBatch("R", r)
+
+	s := ivm.NewBatch(ivm.Schema{"B", "C"})
+	s.Insert(ivm.Row(10, 100))
+	eng.ApplyBatch("S", s)
+
+	t := ivm.NewBatch(ivm.Schema{"C", "D"})
+	t.Insert(ivm.Row(100, 7))
+	t.Insert(ivm.Row(100, 8))
+	eng.ApplyBatch("T", t)
+
+	fmt.Println("result after inserts:", eng.Result())
+
+	// Deletions retract incrementally too.
+	del := ivm.NewBatch(ivm.Schema{"A", "B"})
+	del.Delete(ivm.Row(1, 10))
+	eng.ApplyBatch("R", del)
+	fmt.Println("result after deleting R(1,10):", eng.Result())
+}

@@ -1,0 +1,66 @@
+// Trading: detect unusually small fills against a per-symbol average —
+// the correlated-nested-aggregate class (TPC-H Q17's shape, Sec. 3.2).
+//
+// The view maintains, per venue, the notional value of fills whose size
+// is below 20% of the running average fill size of the same symbol. The
+// nested average is equality-correlated on symbol, so domain extraction
+// restricts re-evaluation to symbols present in each incoming batch.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	ivm "repro"
+)
+
+func main() {
+	// fills(symbol, venue, size, price)
+	avgNum := ivm.Lift("sym_size", ivm.Sum(nil, ivm.Join(
+		ivm.Table("fills", "symbol2", "venue2", "size2", "price2"),
+		ivm.Cond(ivm.Eq, ivm.Col("symbol2"), ivm.Col("symbol")),
+		ivm.Val(ivm.Col("size2")))))
+	avgDen := ivm.Lift("sym_cnt", ivm.Sum(nil, ivm.Join(
+		ivm.Table("fills", "symbol3", "venue3", "size3", "price3"),
+		ivm.Cond(ivm.Eq, ivm.Col("symbol3"), ivm.Col("symbol")))))
+	query := ivm.Sum([]string{"venue"}, ivm.Join(
+		ivm.Table("fills", "symbol", "venue", "size", "price"),
+		avgNum, avgDen,
+		// size < 0.2 * avg(size over same symbol)
+		ivm.Cond(ivm.Lt, ivm.Col("size"),
+			ivm.Mul2(ivm.ConstF(0.2), ivm.Div(ivm.Col("sym_size"), ivm.Col("sym_cnt")))),
+		ivm.Val(ivm.Mul2(ivm.Col("size"), ivm.Col("price")))))
+
+	eng, err := ivm.NewEngine("odd_lots", query, map[string]ivm.Schema{
+		"fills": {"symbol", "venue", "size", "price"},
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("maintenance program:")
+	fmt.Println(eng.Program())
+
+	rng := rand.New(rand.NewSource(7))
+	for batch := 0; batch < 50; batch++ {
+		b := ivm.NewBatch(ivm.Schema{"symbol", "venue", "size", "price"})
+		for i := 0; i < 200; i++ {
+			symbol := rng.Intn(20)
+			size := float64(1 + rng.Intn(1000))
+			if rng.Intn(10) == 0 {
+				size = float64(1 + rng.Intn(20)) // occasional odd lot
+			}
+			b.Insert(ivm.Tuple{
+				ivm.Int(int64(symbol)),
+				ivm.Int(int64(rng.Intn(4))),
+				ivm.Float(size),
+				ivm.Float(10 + rng.Float64()*500),
+			})
+		}
+		eng.ApplyBatch("fills", b)
+	}
+
+	fmt.Println("suspicious notional per venue (fresh after every batch):")
+	eng.Result().Foreach(func(t ivm.Tuple, agg float64) {
+		fmt.Printf("  venue %v: %.0f\n", t[0], agg)
+	})
+}

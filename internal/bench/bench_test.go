@@ -1,0 +1,144 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// tiny configurations keep the harness smoke tests fast.
+func tinyLocal() LocalConfig {
+	return LocalConfig{SF: 0.05, Seed: 1, Queries: []string{"Q1", "Q3", "Q6", "Q17", "DS42"}}
+}
+
+func tinyDist() DistConfig {
+	return DistConfig{
+		Seed:            1,
+		WeakWorkers:     []int{2, 4},
+		PerWorkerBatch:  50,
+		StrongWorkers:   []int{2, 4},
+		StrongBatches:   []int{200, 400},
+		BatchesPerPoint: 1,
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{
+		Title:   "T",
+		Columns: []string{"a", "bb"},
+		Rows:    [][]string{{"1", "2"}, {"333", "4"}},
+		Notes:   "n",
+	}
+	out := tab.Render()
+	for _, want := range []string{"== T ==", "a", "bb", "333", "note: n"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig7Smoke(t *testing.T) {
+	tab, err := Fig7(tinyLocal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 { // Q1, Q3, Q6, Q17
+		t.Fatalf("rows = %d, want 4", len(tab.Rows))
+	}
+	if len(tab.Columns) != 1+len(BatchSizes) {
+		t.Fatalf("columns = %d", len(tab.Columns))
+	}
+}
+
+func TestFig8Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("steady-state warm-up is expensive")
+	}
+	tab, err := Fig8(LocalConfig{SF: 0.05, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 { // three engines for Q17
+		t.Fatalf("rows = %d, want 3", len(tab.Rows))
+	}
+}
+
+func TestFig12Smoke(t *testing.T) {
+	tab, err := Fig12(tinyLocal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 1 { // DS42
+		t.Fatalf("rows = %d, want 1", len(tab.Rows))
+	}
+}
+
+func TestTable2Smoke(t *testing.T) {
+	tab, err := Table2(LocalConfig{SF: 0.05, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != len(BatchSizes) {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+}
+
+func TestTable3Smoke(t *testing.T) {
+	tab, err := Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) < 15 {
+		t.Fatalf("expected a row per TPC-H query, got %d", len(tab.Rows))
+	}
+	// Q6 must be the simplest: 1 job, 1 stage.
+	for _, r := range tab.Rows {
+		if r[0] == "Q6" && (r[1] != "1" || r[2] != "1") {
+			t.Fatalf("Q6 should be 1 job / 1 stage: %v", r)
+		}
+	}
+}
+
+func TestFig5Smoke(t *testing.T) {
+	tab, err := Fig5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3 triggers", len(tab.Rows))
+	}
+	// Fusion must not increase block counts.
+	for _, r := range tab.Rows {
+		if r[3] > r[1] && len(r[3]) >= len(r[1]) {
+			t.Fatalf("local blocks grew after fusion: %v", r)
+		}
+	}
+}
+
+func TestFig9Smoke(t *testing.T) {
+	tab, err := Fig9(tinyDist())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != len(WeakQueries)*2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+}
+
+func TestFig13Smoke(t *testing.T) {
+	tab, err := Fig13(tinyDist())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+}
+
+func TestAblationsSmoke(t *testing.T) {
+	if _, err := AblationPreAgg(tinyLocal()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AblationColumnarShuffle(tinyDist()); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,397 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/compile"
+	"repro/internal/dist"
+	"repro/internal/eval"
+	"repro/internal/mring"
+	"repro/internal/pool"
+	"repro/internal/tpch"
+)
+
+// DistConfig scales the distributed experiments. Worker counts and batch
+// sizes are scaled down from the paper's 50–1000 workers / 50M–400M
+// tuples; the virtual-time platform model keeps the latency shape.
+type DistConfig struct {
+	Seed int64
+	// WeakWorkers are the worker counts of the weak-scaling sweep.
+	WeakWorkers []int
+	// PerWorkerBatch is the per-worker batch partition size (the paper
+	// uses 100,000).
+	PerWorkerBatch int
+	// StrongWorkers and StrongBatches drive the strong-scaling sweep.
+	StrongWorkers []int
+	StrongBatches []int
+	// BatchesPerPoint is how many batches each point averages over.
+	BatchesPerPoint int
+}
+
+// DefaultDistConfig is the quick-run configuration.
+func DefaultDistConfig() DistConfig {
+	return DistConfig{
+		Seed:            1,
+		WeakWorkers:     []int{8, 16, 32, 64, 128, 256},
+		PerWorkerBatch:  400,
+		StrongWorkers:   []int{8, 16, 32, 64, 128},
+		StrongBatches:   []int{25_000, 50_000, 100_000},
+		BatchesPerPoint: 3,
+	}
+}
+
+// WeakQueries are the queries of Fig. 9.
+var WeakQueries = []string{"Q6", "Q17", "Q3", "Q7"}
+
+// deployment bundles a compiled distributed query.
+type deployment struct {
+	query  tpch.Query
+	prog   *compile.Program
+	parts  dist.PartInfo
+	dprogs map[string]*dist.DistProgram
+}
+
+func deploy(name string, level dist.OptLevel) (*deployment, error) {
+	q, err := tpch.QueryByName(name)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := compile.Compile(q.Name, q.Def, q.BaseSchemas(), compile.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	parts := dist.ChoosePartitioning(prog, tpch.PrimaryKeyRanks)
+	return &deployment{
+		query:  q,
+		prog:   prog,
+		parts:  parts,
+		dprogs: dist.CompileProgram(prog, parts, level),
+	}, nil
+}
+
+// newCluster builds a cluster preloaded with the query's static
+// dimensions (ingested through the normal worker-side path).
+func (d *deployment) newCluster(workers int, gen *tpch.Generator, seed int64) (*cluster.Cluster, error) {
+	cl := cluster.New(cluster.DefaultConfig(workers), dist.ViewSchemas(d.prog), d.parts)
+	for _, tbl := range d.query.Tables {
+		if tbl != tpch.Nation && tbl != tpch.Region {
+			continue
+		}
+		static := gen.Static(tbl)
+		if _, err := cl.RunPartitioned(d.dprogs[tbl], splitBatch(static, workers, seed)); err != nil {
+			return nil, err
+		}
+	}
+	return cl, nil
+}
+
+// splitBatch spreads a batch roughly equally and randomly over the
+// workers (each worker receives a fraction of the input stream,
+// Sec. 6.2).
+func splitBatch(batch *mring.Relation, workers int, seed int64) []*mring.Relation {
+	out := make([]*mring.Relation, workers)
+	for i := range out {
+		out[i] = mring.NewRelation(batch.Schema())
+	}
+	i := int(seed)
+	batch.Foreach(func(t mring.Tuple, m float64) {
+		out[i%workers].Add(t, m)
+		i++
+	})
+	return out
+}
+
+// lineitemBatch draws a batch of n lineitem rows.
+func lineitemBatch(gen *tpch.Generator, table string, n int) *mring.Relation {
+	out := mring.NewRelation(tpch.Schemas[table])
+	for i := 0; i < n; i++ {
+		out.Add(gen.Tuple(table), 1)
+	}
+	return out
+}
+
+// mixedBatch draws one stream chunk of n tuples across the query's
+// stream tables and returns per-table batches.
+func mixedBatch(s *tpch.Stream, n int) []tpch.Batch { return s.NextBatches(n) }
+
+// runBatches pushes count batches of total size batchSize through the
+// deployment at the given worker count and returns median-ish (mean)
+// latency and throughput.
+func (d *deployment) runBatches(workers, batchSize, count int, seed int64) (time.Duration, float64, cluster.Metrics, error) {
+	gen := tpch.NewGenerator(4, seed)
+	cl, err := d.newCluster(workers, gen, seed)
+	if err != nil {
+		return 0, 0, cluster.Metrics{}, err
+	}
+	stream := tpch.NewStream(gen, d.query.Tables)
+	var total cluster.Metrics
+	tuples := 0
+	for b := 0; b < count; b++ {
+		for _, batch := range mixedBatch(stream, batchSize) {
+			n := batch.Rel.Len()
+			m, err := cl.RunPartitioned(d.dprogs[batch.Table], splitBatch(batch.Rel, workers, seed))
+			if err != nil {
+				return 0, 0, total, err
+			}
+			total.Add(m)
+			tuples += n
+		}
+	}
+	if count == 0 || tuples == 0 {
+		return 0, 0, total, fmt.Errorf("bench: empty run")
+	}
+	per := total.Latency / time.Duration(count)
+	tput := float64(tuples) / total.Latency.Seconds()
+	return per, tput, total, nil
+}
+
+// Fig9 is the weak-scaling experiment: per-worker batch partitions of
+// fixed size, worker counts swept; latency and throughput reported.
+func Fig9(cfg DistConfig) (*Table, error) {
+	t := &Table{
+		Title: fmt.Sprintf("Figure 9: weak scaling (%d tuples/worker): latency and throughput vs workers",
+			cfg.PerWorkerBatch),
+		Columns: []string{"query", "workers", "latency", "tput (Mtup/s)", "shuffle/worker (KB)"},
+		Notes: "paper shape: Q6 latency ≈ pure sync overhead growing with workers; " +
+			"Q17/Q3 throughput rises then flattens; Q7 latency grows fastest (most shuffling)",
+	}
+	for _, name := range WeakQueries {
+		dep, err := deploy(name, dist.O3)
+		if err != nil {
+			return nil, err
+		}
+		for _, w := range cfg.WeakWorkers {
+			batch := cfg.PerWorkerBatch * w
+			per, tput, m, err := dep.runBatches(w, batch, cfg.BatchesPerPoint, cfg.Seed)
+			if err != nil {
+				return nil, fmt.Errorf("%s w=%d: %w", name, w, err)
+			}
+			shufPerWorker := float64(m.ShuffledBytes) / float64(w) / float64(cfg.BatchesPerPoint) / 1024
+			t.Rows = append(t.Rows, []string{
+				name, fmt.Sprintf("%d", w), d3(per),
+				fmt.Sprintf("%.2f", tput/1e6), f2(shufPerWorker),
+			})
+		}
+	}
+	return t, nil
+}
+
+// Fig10 is the strong-scaling experiment: fixed total batch sizes,
+// worker counts swept, with a distributed re-evaluation comparison
+// (the paper's Spark SQL baseline) at the largest batch size.
+func Fig10(cfg DistConfig) (*Table, error) {
+	t := &Table{
+		Title:   "Figures 10/11: strong scaling: batch processing latency vs workers per batch size",
+		Columns: []string{"query", "workers"},
+		Notes: "paper shape: latency declines with workers until sync overhead dominates; " +
+			"re-evaluation (Spark-SQL stand-in) is 3-20x slower at the largest batch",
+	}
+	for _, bs := range cfg.StrongBatches {
+		t.Columns = append(t.Columns, fmt.Sprintf("bs=%dk", bs/1000))
+	}
+	t.Columns = append(t.Columns, "reeval(max bs)")
+	for _, name := range WeakQueries {
+		dep, err := deploy(name, dist.O3)
+		if err != nil {
+			return nil, err
+		}
+		for _, w := range cfg.StrongWorkers {
+			row := []string{name, fmt.Sprintf("%d", w)}
+			for _, bs := range cfg.StrongBatches {
+				per, _, _, err := dep.runBatches(w, bs, cfg.BatchesPerPoint, cfg.Seed)
+				if err != nil {
+					return nil, fmt.Errorf("%s w=%d bs=%d: %w", name, w, bs, err)
+				}
+				row = append(row, d3(per))
+			}
+			re, err := distributedReEval(dep, w, cfg.StrongBatches[len(cfg.StrongBatches)-1], cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, d3(re))
+			t.Rows = append(t.Rows, row)
+		}
+	}
+	return t, nil
+}
+
+// distributedReEval models the paper's Spark SQL comparison: every batch
+// triggers a full recomputation of the query over the accumulated base
+// tables, executed as one distributed scan+aggregate whose per-worker
+// compute is the re-evaluation work divided across workers, plus the
+// platform costs. The accumulated table grows with each batch.
+func distributedReEval(dep *deployment, workers, batchSize int, seed int64) (time.Duration, error) {
+	gen := tpch.NewGenerator(4, seed)
+	// Accumulate three batches and measure recomputation cost of the last.
+	accum := map[string]*mring.Relation{}
+	for _, tbl := range dep.query.Tables {
+		if tbl == tpch.Nation || tbl == tpch.Region {
+			accum[tbl] = gen.Static(tbl)
+		} else {
+			accum[tbl] = mring.NewRelation(tpch.Schemas[tbl])
+		}
+	}
+	stream := tpch.NewStream(gen, dep.query.Tables)
+	for b := 0; b < 3; b++ {
+		for _, batch := range stream.NextBatches(batchSize) {
+			accum[batch.Table].Merge(batch.Rel)
+		}
+	}
+	env := eval.NewEnv()
+	for n, r := range accum {
+		env.Bind(n, r)
+	}
+	ctx := eval.NewCtx(env)
+	start := time.Now()
+	ctx.Materialize(dep.query.Def)
+	sequential := time.Since(start)
+	cfg := cluster.DefaultConfig(workers)
+	// Perfectly parallelized scan work plus one scheduling round and one
+	// shuffle of the full result — an optimistic stand-in.
+	perWorker := time.Duration(int64(sequential) / int64(workers))
+	sched := cfg.SchedBase + time.Duration(workers)*cfg.SchedPerWorker
+	return perWorker + 2*sched + 2*cfg.NetLatency, nil
+}
+
+// Table3 reports the jobs/stages complexity of every TPC-H query: the
+// fused block structure of one combined update batch (all stream
+// relations), per the partitioning heuristic of Sec. 6.2.
+func Table3() (*Table, error) {
+	t := &Table{
+		Title:   "Table 3: view maintenance complexity of TPC-H queries in the distributed runtime",
+		Columns: []string{"query", "jobs", "stages", "blocks", "views"},
+		Notes:   "paper shape: simple aggregates need 1 job/1 stage; multi-join queries up to 3 jobs/7 stages",
+	}
+	for _, q := range tpch.Queries() {
+		dep, err := deploy(q.Name, dist.O3)
+		if err != nil {
+			return nil, err
+		}
+		jobs, stages, blocks := 0, 0, 0
+		for _, tbl := range q.Tables {
+			if tbl == tpch.Nation || tbl == tpch.Region {
+				continue
+			}
+			dp := dep.dprogs[tbl]
+			if dp.Jobs() > jobs {
+				jobs = dp.Jobs()
+			}
+			stages += dp.Stages()
+			blocks += len(dp.Blocks)
+		}
+		t.Rows = append(t.Rows, []string{
+			q.Name, fmt.Sprintf("%d", jobs), fmt.Sprintf("%d", stages),
+			fmt.Sprintf("%d", blocks), fmt.Sprintf("%d", len(dep.prog.Views)),
+		})
+	}
+	return t, nil
+}
+
+// Fig5 shows the block-fusion effect on TPC-H Q3: statement blocks
+// before and after running the App. C.3 algorithm, per trigger.
+func Fig5() (*Table, error) {
+	t := &Table{
+		Title:   "Figure 5: block fusion effect on TPC-H Q3 (blocks before -> after, per trigger)",
+		Columns: []string{"trigger", "local before", "dist before", "local after", "dist after"},
+		Notes:   "paper: 10 local + 12 distributed blocks fuse into 2 local + 2 distributed",
+	}
+	before, err := deploy("Q3", dist.O1) // no fusion
+	if err != nil {
+		return nil, err
+	}
+	after, err := deploy("Q3", dist.O3)
+	if err != nil {
+		return nil, err
+	}
+	count := func(dp *dist.DistProgram) (local, distb int) {
+		for _, b := range dp.Blocks {
+			if b.Mode == dist.LDist {
+				distb++
+			} else {
+				local++
+			}
+		}
+		return
+	}
+	for _, tbl := range []string{tpch.Lineitem, tpch.Orders, tpch.Customer} {
+		lb, db := count(before.dprogs[tbl])
+		la, da := count(after.dprogs[tbl])
+		t.Rows = append(t.Rows, []string{
+			tbl,
+			fmt.Sprintf("%d", lb), fmt.Sprintf("%d", db),
+			fmt.Sprintf("%d", la), fmt.Sprintf("%d", da),
+		})
+	}
+	return t, nil
+}
+
+// Fig13 is the optimization ablation on Q3: O0 through O3 latency at a
+// sweep of worker counts.
+func Fig13(cfg DistConfig) (*Table, error) {
+	t := &Table{
+		Title:   "Figure 13: optimization effects on distributed Q3 (latency per batch)",
+		Columns: []string{"workers", "O0 naive", "O1 +simplify", "O2 +fusion", "O3 +CSE/DCE"},
+		Notes:   "paper: block fusion brings the largest boost and enables scalable execution",
+	}
+	levels := []dist.OptLevel{dist.O0, dist.O1, dist.O2, dist.O3}
+	deps := make([]*deployment, len(levels))
+	for i, lv := range levels {
+		d, err := deploy("Q3", lv)
+		if err != nil {
+			return nil, err
+		}
+		deps[i] = d
+	}
+	for _, w := range cfg.StrongWorkers {
+		row := []string{fmt.Sprintf("%d", w)}
+		for _, d := range deps {
+			per, _, _, err := d.runBatches(w, cfg.StrongBatches[0], cfg.BatchesPerPoint, cfg.Seed)
+			if err != nil {
+				return nil, fmt.Errorf("fig13 w=%d: %w", w, err)
+			}
+			row = append(row, d3(per))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// encodeColumnar / encodeRow serialize through the two wire formats.
+func encodeColumnar(r *mring.Relation) []byte { return pool.FromRelation(r).Encode() }
+
+func encodeRow(r *mring.Relation) []byte { return pool.EncodeRowFormat(r) }
+
+// AblationColumnarShuffle compares columnar vs row wire formats on the
+// shuffled payloads of a distributed Q3 run (Sec. 5.2.2).
+func AblationColumnarShuffle(cfg DistConfig) (*Table, error) {
+	dep, err := deploy("Q3", dist.O3)
+	if err != nil {
+		return nil, err
+	}
+	gen := tpch.NewGenerator(2, cfg.Seed)
+	stream := tpch.NewStream(gen, dep.query.Tables)
+	t := &Table{
+		Title:   "Ablation: columnar vs row serialization of shuffle payloads (bytes)",
+		Columns: []string{"batch", "columnar (KB)", "row (KB)", "ratio"},
+		Notes:   "columnar encoding amortizes headers and packs typed columns (Sec. 5.2.2)",
+	}
+	for i := 0; i < 4; i++ {
+		var colBytes, rowBytes int
+		for _, b := range stream.NextBatches(20000) {
+			colBytes += len(encodeColumnar(b.Rel))
+			rowBytes += len(encodeRow(b.Rel))
+		}
+		if colBytes == 0 {
+			break
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", i),
+			fmt.Sprintf("%d", colBytes/1024),
+			fmt.Sprintf("%d", rowBytes/1024),
+			f2(float64(rowBytes) / float64(colBytes)),
+		})
+	}
+	return t, nil
+}

@@ -1,0 +1,484 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/cachesim"
+	"repro/internal/compile"
+	"repro/internal/mring"
+	"repro/internal/tpcds"
+	"repro/internal/tpch"
+)
+
+// LocalConfig scales the single-node experiments.
+type LocalConfig struct {
+	// SF is the TPC-H/DS scale factor (1.0 = the micro unit of the
+	// generators).
+	SF float64
+	// Seed fixes stream generation.
+	Seed int64
+	// Queries restricts the query set (nil = all).
+	Queries []string
+}
+
+// DefaultLocalConfig is the quick-run configuration.
+func DefaultLocalConfig() LocalConfig { return LocalConfig{SF: 0.5, Seed: 1} }
+
+func (c LocalConfig) wants(name string) bool {
+	if len(c.Queries) == 0 {
+		return true
+	}
+	for _, q := range c.Queries {
+		if q == name {
+			return true
+		}
+	}
+	return false
+}
+
+// runLocalStream streams a TPC-H query's workload through an executor
+// and returns (tuples processed, wall time).
+func runLocalStream(q tpch.Query, sf float64, seed int64, batchSize int, singleTuple bool, opts compile.Options) (int, time.Duration, error) {
+	prog, err := compile.Compile(q.Name, q.Def, q.BaseSchemas(), opts)
+	if err != nil {
+		return 0, 0, err
+	}
+	ex := compile.NewExecutor(prog)
+	ex.SingleTuple = singleTuple
+	gen := tpch.NewGenerator(sf, seed)
+	init := map[string]*mring.Relation{}
+	for _, tbl := range q.Tables {
+		if tbl == tpch.Nation || tbl == tpch.Region {
+			init[tbl] = gen.Static(tbl)
+		} else {
+			init[tbl] = mring.NewRelation(tpch.Schemas[tbl])
+		}
+	}
+	ex.InitFromBases(init)
+	stream := tpch.NewStream(gen, q.Tables)
+	tuples := 0
+	start := time.Now()
+	for {
+		bs := stream.NextBatches(batchSize)
+		if len(bs) == 0 {
+			break
+		}
+		for _, b := range bs {
+			n := b.Rel.Len()
+			ex.ApplyBatch(b.Table, b.Rel)
+			tuples += n
+		}
+	}
+	return tuples, time.Since(start), nil
+}
+
+// Fig7 reproduces the normalized-throughput-vs-batch-size experiment for
+// the TPC-H queries (single-tuple execution = 1.0).
+func Fig7(cfg LocalConfig) (*Table, error) {
+	t := &Table{
+		Title:   "Figure 7: normalized throughput of TPC-H queries per batch size (baseline = single-tuple)",
+		Columns: []string{"query"},
+		Notes: "paper shape: ~half the queries peak at or below 1x (single-tuple wins); " +
+			"batch pre-aggregation queries (Q1, Q20, Q22) gain large factors; peaks fall at 1k-10k",
+	}
+	for _, bs := range BatchSizes {
+		t.Columns = append(t.Columns, fmt.Sprintf("bs=%d", bs))
+	}
+	for _, q := range tpch.Queries() {
+		if !cfg.wants(q.Name) {
+			continue
+		}
+		n, base, err := runLocalStream(q, cfg.SF, cfg.Seed, 1, true, compile.DefaultOptions())
+		if err != nil {
+			return nil, fmt.Errorf("%s single-tuple: %w", q.Name, err)
+		}
+		baseTput := float64(n) / base.Seconds()
+		row := []string{q.Name}
+		for _, bs := range BatchSizes {
+			n2, dur, err := runLocalStream(q, cfg.SF, cfg.Seed, bs, false, compile.DefaultOptions())
+			if err != nil {
+				return nil, fmt.Errorf("%s bs=%d: %w", q.Name, bs, err)
+			}
+			row = append(row, f2((float64(n2)/dur.Seconds())/baseTput))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Fig12 is the TPC-DS variant of Fig7.
+func Fig12(cfg LocalConfig) (*Table, error) {
+	t := &Table{
+		Title:   "Figure 12: normalized throughput of TPC-DS queries per batch size (baseline = single-tuple)",
+		Columns: []string{"query"},
+		Notes:   "paper shape: single-tuple often wins; filtering queries gain up to ~5x",
+	}
+	for _, bs := range BatchSizes {
+		t.Columns = append(t.Columns, fmt.Sprintf("bs=%d", bs))
+	}
+	for _, q := range tpcds.Queries() {
+		if !cfg.wants(q.Name) {
+			continue
+		}
+		run := func(batchSize int, single bool) (float64, error) {
+			prog, err := compile.Compile(q.Name, q.Def, q.BaseSchemas(), compile.DefaultOptions())
+			if err != nil {
+				return 0, err
+			}
+			ex := compile.NewExecutor(prog)
+			ex.SingleTuple = single
+			gen := tpcds.NewGenerator(cfg.SF, cfg.Seed)
+			init := map[string]*mring.Relation{}
+			for _, tbl := range q.Tables {
+				if tbl == tpcds.StoreSales {
+					init[tbl] = mring.NewRelation(tpcds.Schemas[tbl])
+				} else {
+					init[tbl] = gen.Static(tbl)
+				}
+			}
+			ex.InitFromBases(init)
+			next := gen.FactBatches(batchSize)
+			tuples := 0
+			start := time.Now()
+			for b := next(); b != nil; b = next() {
+				tuples += b.Len()
+				ex.ApplyBatch(tpcds.StoreSales, b)
+			}
+			return float64(tuples) / time.Since(start).Seconds(), nil
+		}
+		baseTput, err := run(1, true)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", q.Name, err)
+		}
+		row := []string{q.Name}
+		for _, bs := range BatchSizes {
+			tput, err := run(bs, false)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", q.Name, err)
+			}
+			row = append(row, f2(tput/baseTput))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// warmDatabase materializes the full stream at sf into base-table
+// contents (plus static dimensions) — the grown database against which
+// refresh rates are measured.
+func warmDatabase(q tpch.Query, sf float64, seed int64) map[string]*mring.Relation {
+	gen := tpch.NewGenerator(sf, seed)
+	out := map[string]*mring.Relation{}
+	for _, tbl := range q.Tables {
+		if tbl == tpch.Nation || tbl == tpch.Region {
+			out[tbl] = gen.Static(tbl)
+		} else {
+			out[tbl] = mring.NewRelation(tpch.Schemas[tbl])
+		}
+	}
+	stream := tpch.NewStream(gen, q.Tables)
+	for {
+		bs := stream.NextBatches(10000)
+		if len(bs) == 0 {
+			break
+		}
+		for _, b := range bs {
+			out[b.Table].Merge(b.Rel)
+		}
+	}
+	return out
+}
+
+// measureRefreshRate measures the steady-state view refresh throughput:
+// the engine has already ingested the warm database, and each additional
+// batch must refresh the view. Slow engines are capped at a few batches
+// per cell — enough for a rate, cheap enough to terminate.
+func measureRefreshRate(q tpch.Query, e baseline.Engine, seed int64, batchSize, maxBatches int) float64 {
+	gen := tpch.NewGenerator(0.05, seed+1000)
+	stream := tpch.NewStream(gen, q.Tables)
+	tuples := 0
+	batches := 0
+	start := time.Now()
+	for batches < maxBatches {
+		bs := stream.NextBatches(batchSize)
+		if len(bs) == 0 {
+			break
+		}
+		for _, b := range bs {
+			tuples += b.Rel.Len()
+			e.ApplyBatch(b.Table, b.Rel)
+		}
+		batches++
+	}
+	if tuples == 0 {
+		return 0
+	}
+	return float64(tuples) / time.Since(start).Seconds()
+}
+
+// recursiveEngine adapts the executor to the baseline.Engine interface.
+type recursiveEngine struct{ ex *compile.Executor }
+
+func (e recursiveEngine) ApplyBatch(rel string, b *mring.Relation) { e.ex.ApplyBatch(rel, b) }
+func (e recursiveEngine) Result() *mring.Relation                  { return e.ex.Result() }
+func (e recursiveEngine) Name() string                             { return "recursive-ivm" }
+
+// Fig8 compares re-evaluation, classical IVM, and recursive IVM on
+// TPC-H Q17 across batch sizes (the paper's PostgreSQL comparison).
+func Fig8(cfg LocalConfig) (*Table, error) {
+	return engineComparison(cfg, []string{"Q17"},
+		"Figure 8: Q17 view refresh rate (tuples/sec): re-eval vs classical IVM vs recursive IVM",
+		"paper shape: recursive IVM leads by 2-4 orders of magnitude at every batch size")
+}
+
+// Table1 is the full grid of Fig8 over the whole TPC-H suite.
+func Table1(cfg LocalConfig) (*Table, error) {
+	var names []string
+	for _, q := range tpch.Queries() {
+		names = append(names, q.Name)
+	}
+	return engineComparison(cfg, names,
+		"Table 1: throughput (tuples/sec) of re-eval, classical IVM, recursive IVM per batch size",
+		"paper shape: recursive IVM wins by orders of magnitude in all but the re-evaluation queries (Q11-style)")
+}
+
+func engineComparison(cfg LocalConfig, names []string, title, notes string) (*Table, error) {
+	t := &Table{
+		Title:   title,
+		Columns: []string{"query", "engine", "single"},
+		Notes:   notes,
+	}
+	for _, bs := range BatchSizes {
+		t.Columns = append(t.Columns, fmt.Sprintf("bs=%d", bs))
+	}
+	for _, name := range names {
+		if !cfg.wants(name) {
+			continue
+		}
+		q, err := tpch.QueryByName(name)
+		if err != nil {
+			return nil, err
+		}
+		// All engines refresh the same grown database: the view refresh
+		// rate is a steady-state property. The database must dwarf the
+		// largest batch, as in the paper (10GB streams vs 100k batches),
+		// for re-evaluation's recompute-everything cost to show.
+		warmSF := cfg.SF * 8
+		if warmSF < 0.8 {
+			warmSF = 0.8
+		}
+		warm := warmDatabase(q, warmSF, cfg.Seed)
+		prog, err := compile.Compile(q.Name, q.Def, q.BaseSchemas(), compile.DefaultOptions())
+		if err != nil {
+			return nil, err
+		}
+		engines := []struct {
+			label      string
+			maxBatches int
+			mk         func() baseline.Engine
+		}{
+			{"re-eval", 3, func() baseline.Engine {
+				e := baseline.NewReEval(q.Def, q.BaseSchemas())
+				for tbl, r := range warm {
+					e.LoadBase(tbl, r.Clone())
+				}
+				return e
+			}},
+			{"classical", 5, func() baseline.Engine {
+				e := baseline.NewClassicalIVM(q.Def, q.BaseSchemas())
+				for tbl, r := range warm {
+					e.LoadBase(tbl, r.Clone())
+				}
+				return e
+			}},
+			{"recursive", 50, func() baseline.Engine {
+				ex := compile.NewExecutor(prog)
+				ex.InitFromBases(warm)
+				return recursiveEngine{ex}
+			}},
+		}
+		for _, e := range engines {
+			row := []string{name, e.label, ""}
+			if e.label == "recursive" {
+				ex := compile.NewExecutor(prog)
+				ex.InitFromBases(warm)
+				ex.SingleTuple = true
+				row[2] = f0(measureRefreshRate(q, recursiveEngine{ex}, cfg.Seed, 1000, 2))
+			}
+			// One engine instance per row: warm initialization is the
+			// dominant cost and refresh rates remain steady-state as the
+			// measured batches accumulate.
+			eng := e.mk()
+			for i, bs := range BatchSizes {
+				row = append(row, f0(measureRefreshRate(q, eng, cfg.Seed+int64(i), bs, e.maxBatches)))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+	}
+	return t, nil
+}
+
+// Table2 reproduces the cache-locality experiment: TPC-H Q3 maintained
+// at several batch sizes with every record touch fed through the cache
+// simulator.
+func Table2(cfg LocalConfig) (*Table, error) {
+	q, err := tpch.QueryByName("Q3")
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:   "Table 2: simulated cache locality of TPC-H Q3 (per batch size)",
+		Columns: []string{"batch", "ops (instr proxy)", "L1 refs", "L1 misses", "LLC refs", "LLC misses"},
+		Notes: "paper shape: batch=1 executes ~10x more work than batch=1000; " +
+			"LLC refs/misses bottom out at mid-size batches",
+	}
+	sizes := append([]int{}, BatchSizes...)
+	for _, bs := range sizes {
+		prog, err := compile.Compile(q.Name, q.Def, q.BaseSchemas(), compile.DefaultOptions())
+		if err != nil {
+			return nil, err
+		}
+		ex := compile.NewExecutor(prog)
+		h := cachesim.NewHierarchy()
+		ex.Tracer = func(rel string, hash uint64) { h.Access(hash) }
+		gen := tpch.NewGenerator(cfg.SF, cfg.Seed)
+		init := map[string]*mring.Relation{}
+		for _, tbl := range q.Tables {
+			init[tbl] = mring.NewRelation(tpch.Schemas[tbl])
+		}
+		ex.InitFromBases(init)
+		stream := tpch.NewStream(gen, q.Tables)
+		for {
+			bsz := stream.NextBatches(bs)
+			if len(bsz) == 0 {
+				break
+			}
+			for _, b := range bsz {
+				ex.ApplyBatch(b.Table, b.Rel)
+			}
+		}
+		ops := ex.Stats.Lookups + ex.Stats.Scans + ex.Stats.Emits
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", bs),
+			fmt.Sprintf("%d", ops),
+			fmt.Sprintf("%d", h.L1.Refs),
+			fmt.Sprintf("%d", h.L1.Misses),
+			fmt.Sprintf("%d", h.LLC.Refs),
+			fmt.Sprintf("%d", h.LLC.Misses),
+		})
+	}
+	return t, nil
+}
+
+// AblationPreAgg quantifies batch pre-aggregation (the Sec. 3.3 design
+// choice): throughput with and without it, per query.
+func AblationPreAgg(cfg LocalConfig) (*Table, error) {
+	t := &Table{
+		Title:   "Ablation: batch pre-aggregation on/off (throughput ratio on/off, batch=1000)",
+		Columns: []string{"query", "with", "without", "ratio"},
+		Notes:   "paper: pre-aggregation brings up to 3 orders of magnitude (Q20/Q22-class)",
+	}
+	on := compile.DefaultOptions()
+	off := on
+	off.PreAggregate = false
+	for _, q := range tpch.Queries() {
+		if !cfg.wants(q.Name) {
+			continue
+		}
+		n1, d1, err := runLocalStream(q, cfg.SF, cfg.Seed, 1000, false, on)
+		if err != nil {
+			return nil, err
+		}
+		n2, d2, err := runLocalStream(q, cfg.SF, cfg.Seed, 1000, false, off)
+		if err != nil {
+			return nil, err
+		}
+		tp1 := float64(n1) / d1.Seconds()
+		tp2 := float64(n2) / d2.Seconds()
+		t.Rows = append(t.Rows, []string{q.Name, f0(tp1), f0(tp2), f2(tp1 / tp2)})
+	}
+	return t, nil
+}
+
+// AblationDomainExtraction compares nested-query maintenance with and
+// without the Fig. 1 rewrite.
+func AblationDomainExtraction(cfg LocalConfig) (*Table, error) {
+	t := &Table{
+		Title:   "Ablation: domain extraction on/off for nested TPC-H queries (batch=1000)",
+		Columns: []string{"query", "with (tup/s)", "without (tup/s)", "speedup"},
+		Notes:   "without domain extraction, deltas of nested queries re-evaluate the query twice per batch",
+	}
+	on := compile.DefaultOptions()
+	off := on
+	off.DomainExtraction = false
+	off.ReEvalUncorrelated = false
+	for _, q := range tpch.Queries() {
+		if !q.Nested || !cfg.wants(q.Name) {
+			continue
+		}
+		n1, d1, err := runLocalStream(q, cfg.SF, cfg.Seed, 1000, false, on)
+		if err != nil {
+			return nil, err
+		}
+		// The naive variant is drastically slower; run it at reduced scale.
+		n2, d2, err := runLocalStream(q, cfg.SF/5, cfg.Seed, 1000, false, off)
+		if err != nil {
+			return nil, err
+		}
+		tp1 := float64(n1) / d1.Seconds()
+		tp2 := float64(n2) / d2.Seconds()
+		t.Rows = append(t.Rows, []string{q.Name, f0(tp1), f0(tp2), f2(tp1 / tp2)})
+	}
+	return t, nil
+}
+
+// MemoryReport shows the auxiliary-view footprint per query after the
+// full stream (the Sec. 6.1 memory-requirements discussion).
+func MemoryReport(cfg LocalConfig) (*Table, error) {
+	t := &Table{
+		Title:   "Memory: materialized tuples across all auxiliary views after the stream",
+		Columns: []string{"query", "views", "tuples", "stream tuples"},
+		Notes:   "auxiliary views stay below fact-table size (star schema integrity argument)",
+	}
+	for _, q := range tpch.Queries() {
+		if !cfg.wants(q.Name) {
+			continue
+		}
+		prog, err := compile.Compile(q.Name, q.Def, q.BaseSchemas(), compile.DefaultOptions())
+		if err != nil {
+			return nil, err
+		}
+		ex := compile.NewExecutor(prog)
+		gen := tpch.NewGenerator(cfg.SF, cfg.Seed)
+		init := map[string]*mring.Relation{}
+		for _, tbl := range q.Tables {
+			if tbl == tpch.Nation || tbl == tpch.Region {
+				init[tbl] = gen.Static(tbl)
+			} else {
+				init[tbl] = mring.NewRelation(tpch.Schemas[tbl])
+			}
+		}
+		ex.InitFromBases(init)
+		stream := tpch.NewStream(gen, q.Tables)
+		streamed := 0
+		for {
+			bs := stream.NextBatches(1000)
+			if len(bs) == 0 {
+				break
+			}
+			for _, b := range bs {
+				streamed += b.Rel.Len()
+				ex.ApplyBatch(b.Table, b.Rel)
+			}
+		}
+		t.Rows = append(t.Rows, []string{
+			q.Name,
+			fmt.Sprintf("%d", len(prog.Views)),
+			fmt.Sprintf("%d", ex.MemoryFootprint()),
+			fmt.Sprintf("%d", streamed),
+		})
+	}
+	return t, nil
+}

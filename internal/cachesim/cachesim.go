@@ -1,0 +1,94 @@
+// Package cachesim provides a set-associative LRU cache simulator. It
+// substitutes for the hardware performance counters of the paper's
+// cache-locality experiment (App. B.2, Table 2): view-maintenance code is
+// instrumented to report every record touch, and the simulator reports
+// reference and miss counts whose shape across batch sizes mirrors the
+// paper's LLC measurements.
+package cachesim
+
+// Config describes a cache level.
+type Config struct {
+	// Sets is the number of cache sets (power of two).
+	Sets int
+	// Ways is the associativity.
+	Ways int
+	// BlockBits is log2 of the cache line size used to map addresses to
+	// lines (record hashes stand in for addresses).
+	BlockBits uint
+}
+
+// LLCConfig models a 15 MB 20-way last-level cache with 64-byte lines,
+// matching the paper's Xeon E5-2630L.
+func LLCConfig() Config { return Config{Sets: 1 << 12, Ways: 20, BlockBits: 6} }
+
+// L1Config models a 32 KB 8-way L1 cache.
+func L1Config() Config { return Config{Sets: 64, Ways: 8, BlockBits: 6} }
+
+// Cache is one set-associative LRU cache.
+type Cache struct {
+	cfg  Config
+	sets [][]uint64 // per-set tag stacks, most recent first
+	// Refs and Misses count accesses.
+	Refs   int64
+	Misses int64
+}
+
+// New creates an empty cache.
+func New(cfg Config) *Cache {
+	return &Cache{cfg: cfg, sets: make([][]uint64, cfg.Sets)}
+}
+
+// Access touches the line containing addr, updating LRU state.
+func (c *Cache) Access(addr uint64) {
+	c.Refs++
+	line := addr >> c.cfg.BlockBits
+	si := int(line % uint64(c.cfg.Sets))
+	set := c.sets[si]
+	for i, tag := range set {
+		if tag == line {
+			// Hit: move to front.
+			copy(set[1:i+1], set[:i])
+			set[0] = line
+			return
+		}
+	}
+	c.Misses++
+	if len(set) < c.cfg.Ways {
+		set = append(set, 0)
+	}
+	copy(set[1:], set)
+	set[0] = line
+	c.sets[si] = set
+}
+
+// Reset clears contents and counters.
+func (c *Cache) Reset() {
+	c.sets = make([][]uint64, c.cfg.Sets)
+	c.Refs = 0
+	c.Misses = 0
+}
+
+// Hierarchy couples an L1 and an LLC: every reference touches L1; L1
+// misses reach the LLC (a simplification of inclusive hierarchies that
+// preserves the reported counters' meaning).
+type Hierarchy struct {
+	L1  *Cache
+	LLC *Cache
+	// Instructions approximates retired instructions: callers add their
+	// operation counts scaled by a per-op factor.
+	Instructions int64
+}
+
+// NewHierarchy builds the paper's two-level configuration.
+func NewHierarchy() *Hierarchy {
+	return &Hierarchy{L1: New(L1Config()), LLC: New(LLCConfig())}
+}
+
+// Access simulates one memory reference through the hierarchy.
+func (h *Hierarchy) Access(addr uint64) {
+	before := h.L1.Misses
+	h.L1.Access(addr)
+	if h.L1.Misses > before {
+		h.LLC.Access(addr)
+	}
+}

@@ -1,0 +1,74 @@
+package cachesim
+
+import "testing"
+
+func TestHitAfterMiss(t *testing.T) {
+	c := New(Config{Sets: 4, Ways: 2, BlockBits: 6})
+	c.Access(0x1000)
+	if c.Refs != 1 || c.Misses != 1 {
+		t.Fatalf("cold access: refs=%d misses=%d", c.Refs, c.Misses)
+	}
+	c.Access(0x1000)
+	if c.Refs != 2 || c.Misses != 1 {
+		t.Fatalf("warm access should hit: misses=%d", c.Misses)
+	}
+	// Same cache line (within 64 bytes) also hits.
+	c.Access(0x1010)
+	if c.Misses != 1 {
+		t.Fatal("same-line access should hit")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// 1 set, 2 ways: third distinct line evicts the least recent.
+	c := New(Config{Sets: 1, Ways: 2, BlockBits: 6})
+	c.Access(0x0)  // miss, set=[0]
+	c.Access(0x40) // miss, set=[1,0]
+	c.Access(0x0)  // hit, set=[0,1]
+	c.Access(0x80) // miss, evicts 1
+	c.Access(0x0)  // hit (still resident)
+	c.Access(0x40) // miss (was evicted)
+	if c.Misses != 4 {
+		t.Fatalf("misses = %d, want 4", c.Misses)
+	}
+}
+
+func TestWorkingSetFitsThenThrashes(t *testing.T) {
+	c := New(Config{Sets: 16, Ways: 4, BlockBits: 6})
+	capacity := 16 * 4 // 64 lines
+	// A working set within capacity: second pass all hits.
+	for pass := 0; pass < 2; pass++ {
+		for i := 0; i < capacity; i++ {
+			c.Access(uint64(i) << 6)
+		}
+	}
+	if c.Misses != int64(capacity) {
+		t.Fatalf("in-capacity working set: misses=%d want %d", c.Misses, capacity)
+	}
+	// A working set 4x capacity thrashes: every access misses.
+	c.Reset()
+	for pass := 0; pass < 2; pass++ {
+		for i := 0; i < 4*capacity; i++ {
+			c.Access(uint64(i) << 6)
+		}
+	}
+	if c.Misses != c.Refs {
+		t.Fatalf("thrash should miss always: misses=%d refs=%d", c.Misses, c.Refs)
+	}
+}
+
+func TestHierarchyFiltersLLC(t *testing.T) {
+	h := NewHierarchy()
+	// A tight loop over few lines: only cold misses reach the LLC.
+	for pass := 0; pass < 100; pass++ {
+		for i := 0; i < 8; i++ {
+			h.Access(uint64(i) << 6)
+		}
+	}
+	if h.LLC.Refs != 8 || h.LLC.Misses != 8 {
+		t.Fatalf("LLC should see only cold misses: refs=%d misses=%d", h.LLC.Refs, h.LLC.Misses)
+	}
+	if h.L1.Refs != 800 {
+		t.Fatalf("L1 refs = %d, want 800", h.L1.Refs)
+	}
+}

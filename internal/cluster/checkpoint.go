@@ -1,0 +1,113 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/mring"
+	"repro/internal/pool"
+)
+
+// Checkpoint is a serialized snapshot of the cluster's materialized state
+// (Sec. 4: "Using data checkpointing, we can periodically save
+// intermediate state to reliable storage (HDFS) in order to shorten
+// recovery time"). The snapshot stores every node's relation fragments
+// in the columnar wire format; its size approximates the HDFS write.
+type Checkpoint struct {
+	// Workers holds, per worker, the encoded fragments by name.
+	Workers []map[string][]byte
+	// Driver holds the driver's relations.
+	Driver map[string][]byte
+	// Bytes is the total snapshot size.
+	Bytes int64
+}
+
+// CheckpointCost models the virtual time to write the snapshot, charged
+// against the same bandwidth as shuffles (the paper notes checkpointing
+// "may have detrimental effects on the latency of processing").
+func (c *Cluster) CheckpointCost(cp *Checkpoint) time.Duration {
+	perWorker := int64(0)
+	for _, w := range cp.Workers {
+		var n int64
+		for _, b := range w {
+			n += int64(len(b))
+		}
+		if n > perWorker {
+			perWorker = n
+		}
+	}
+	return c.cfg.NetLatency +
+		time.Duration(float64(perWorker)/c.cfg.BandwidthBytesPerSec*float64(time.Second))
+}
+
+// Checkpoint snapshots all materialized state.
+func (c *Cluster) Checkpoint() *Checkpoint {
+	cp := &Checkpoint{Driver: map[string][]byte{}}
+	encode := func(n *node) map[string][]byte {
+		out := map[string][]byte{}
+		for name, r := range n.rels {
+			if r == nil || r.Len() == 0 {
+				continue
+			}
+			b := pool.FromRelation(r).Encode()
+			out[name] = b
+			cp.Bytes += int64(len(b))
+		}
+		return out
+	}
+	cp.Driver = encode(c.driver)
+	cp.Workers = make([]map[string][]byte, len(c.workers))
+	for i, w := range c.workers {
+		cp.Workers[i] = encode(w)
+	}
+	return cp
+}
+
+// Restore replaces all cluster state with the checkpoint's. The worker
+// count must match the snapshot (the paper's recovery model restarts the
+// same deployment).
+func (c *Cluster) Restore(cp *Checkpoint) error {
+	if len(cp.Workers) != len(c.workers) {
+		return fmt.Errorf("cluster: checkpoint has %d workers, cluster has %d",
+			len(cp.Workers), len(c.workers))
+	}
+	decode := func(enc map[string][]byte) (map[string]*mring.Relation, error) {
+		out := map[string]*mring.Relation{}
+		for name, b := range enc {
+			cb, err := pool.Decode(b)
+			if err != nil {
+				return nil, fmt.Errorf("cluster: corrupt checkpoint for %q: %w", name, err)
+			}
+			out[name] = cb.ToRelation()
+		}
+		return out, nil
+	}
+	driver, err := decode(cp.Driver)
+	if err != nil {
+		return err
+	}
+	workers := make([]map[string]*mring.Relation, len(cp.Workers))
+	for i, enc := range cp.Workers {
+		w, err := decode(enc)
+		if err != nil {
+			return err
+		}
+		workers[i] = w
+	}
+	// Apply only after full validation so a corrupt snapshot cannot leave
+	// the cluster half-restored.
+	c.driver.rels = driver
+	for i := range c.workers {
+		c.workers[i].rels = workers[i]
+	}
+	return nil
+}
+
+// KillWorker simulates a worker failure by discarding its state. A
+// subsequent Restore recovers the deployment from the last checkpoint.
+func (c *Cluster) KillWorker(i int) {
+	if i < 0 || i >= len(c.workers) {
+		panic("cluster: no such worker")
+	}
+	c.workers[i] = newNode()
+}

@@ -1,0 +1,516 @@
+// Package cluster simulates the synchronous large-scale processing
+// platform of Sec. 4 and 6.2 (the paper ran Spark 1.6.1 on 100 servers):
+// one driver orchestrates N stateful workers; processing a batch runs a
+// sequence of statement blocks, each distributed block being one stage
+// executed by all workers in parallel.
+//
+// The simulator really executes the compiled distributed programs over
+// really-partitioned state and really-serialized shuffles (bytes are
+// counted through the columnar wire format), and combines the measured
+// per-worker work with a virtual-time cost model for the platform terms
+// the paper measures: per-stage scheduling/synchronization overhead that
+// grows with the worker count, shuffle time proportional to the maximum
+// per-worker payload, and optional straggler inflation. DESIGN.md §3
+// documents this substitution.
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/eval"
+	"repro/internal/expr"
+	"repro/internal/mring"
+	"repro/internal/pool"
+)
+
+// Config holds the platform cost-model parameters. The defaults are
+// calibrated so that an empty-work stage reproduces the paper's Q6
+// synchronization latencies (65 ms at 50 workers to ~390 ms at 1000).
+type Config struct {
+	Workers int
+	// SchedBase is the fixed per-stage scheduling cost.
+	SchedBase time.Duration
+	// SchedPerWorker is the per-worker closure-shipping/sync cost added
+	// to every stage.
+	SchedPerWorker time.Duration
+	// NetLatency is charged once per communication round (transformer).
+	NetLatency time.Duration
+	// BandwidthBytesPerSec is the effective per-worker shuffle bandwidth
+	// (serialize + transfer + deserialize).
+	BandwidthBytesPerSec float64
+	// ComputeNsPerOp converts evaluation operation counts into virtual
+	// compute time. Zero disables modeled compute (real measured time is
+	// used instead).
+	ComputeNsPerOp float64
+	// StragglerProb is the per-stage probability that the slowest worker
+	// is inflated by StragglerFactor (Sec. 6.2.1 observes 1.5–3x).
+	StragglerProb   float64
+	StragglerFactor float64
+	// Seed drives straggler sampling and nothing else.
+	Seed int64
+}
+
+// DefaultConfig returns the calibrated platform model.
+func DefaultConfig(workers int) Config {
+	return Config{
+		Workers:              workers,
+		SchedBase:            30 * time.Millisecond,
+		SchedPerWorker:       350 * time.Microsecond,
+		NetLatency:           5 * time.Millisecond,
+		BandwidthBytesPerSec: 100 << 20, // 100 MB/s effective per worker
+		ComputeNsPerOp:       25,
+		StragglerProb:        0,
+		StragglerFactor:      2,
+		Seed:                 1,
+	}
+}
+
+// node holds the relation fragments of one worker (or the driver).
+type node struct {
+	rels map[string]*mring.Relation
+}
+
+func newNode() *node { return &node{rels: make(map[string]*mring.Relation)} }
+
+func (n *node) rel(name string, schema mring.Schema) *mring.Relation {
+	r := n.rels[name]
+	if r == nil {
+		r = mring.NewRelation(schema)
+		n.rels[name] = r
+	}
+	return r
+}
+
+// Metrics reports the virtual cost of processing one batch.
+type Metrics struct {
+	// Latency is the virtual end-to-end batch processing time.
+	Latency time.Duration
+	// ComputeMax accumulates, per stage, the slowest worker's compute.
+	ComputeMax time.Duration
+	// ComputeSum is total compute across all workers (CPU-seconds).
+	ComputeSum time.Duration
+	// ShuffledBytes is the total serialized payload moved over the
+	// network.
+	ShuffledBytes int64
+	// MaxWorkerShuffleBytes is the largest per-worker payload in any one
+	// round (the term that bounds shuffle time).
+	MaxWorkerShuffleBytes int64
+	// Stages and Jobs echo the executed program structure.
+	Stages int
+	Jobs   int
+}
+
+// Add accumulates other into m (Latency and counters sum; the max field
+// takes the max).
+func (m *Metrics) Add(o Metrics) {
+	m.Latency += o.Latency
+	m.ComputeMax += o.ComputeMax
+	m.ComputeSum += o.ComputeSum
+	m.ShuffledBytes += o.ShuffledBytes
+	if o.MaxWorkerShuffleBytes > m.MaxWorkerShuffleBytes {
+		m.MaxWorkerShuffleBytes = o.MaxWorkerShuffleBytes
+	}
+	m.Stages += o.Stages
+	m.Jobs += o.Jobs
+}
+
+// Cluster is one simulated deployment: schemas and partitioning are fixed
+// at construction; state persists across batches (workers are stateful).
+type Cluster struct {
+	cfg     Config
+	driver  *node
+	workers []*node
+	schemas map[string]mring.Schema
+	parts   dist.PartInfo
+	rng     *rand.Rand
+}
+
+// New creates a cluster with empty state.
+func New(cfg Config, schemas map[string]mring.Schema, parts dist.PartInfo) *Cluster {
+	if cfg.Workers <= 0 {
+		panic("cluster: need at least one worker")
+	}
+	c := &Cluster{
+		cfg:     cfg,
+		driver:  newNode(),
+		workers: make([]*node, cfg.Workers),
+		schemas: schemas,
+		parts:   parts,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+	}
+	for i := range c.workers {
+		c.workers[i] = newNode()
+	}
+	return c
+}
+
+// Workers returns the configured worker count.
+func (c *Cluster) Workers() int { return c.cfg.Workers }
+
+// schemaOf returns the schema for a view/delta name, falling back to the
+// partitioning key when unknown (temp views register lazily on first
+// write).
+func (c *Cluster) schemaOf(name string, fallback mring.Schema) mring.Schema {
+	if s, ok := c.schemas[name]; ok {
+		return s
+	}
+	c.schemas[name] = fallback.Clone()
+	return c.schemas[name]
+}
+
+// partIndex returns the worker index owning a tuple under the key columns
+// at the given positions.
+func (c *Cluster) partIndex(t mring.Tuple, keyPos []int) int {
+	return int(t.Project(keyPos).Hash() % uint64(len(c.workers)))
+}
+
+// Run processes one update batch for the program's relation: the batch
+// starts at the driver (the paper's Fig. 5 shape: LOCAL DELTA := {...}
+// then SCATTER). Returns the virtual metrics of this batch.
+func (c *Cluster) Run(prog *dist.DistProgram, batch *mring.Relation) (Metrics, error) {
+	dn := eval.DeltaName(prog.Relation)
+	c.driver.rels[dn] = batch
+	c.schemas[dn] = batch.Schema()
+	return c.runBlocks(prog)
+}
+
+// RunPartitioned processes a batch already spread over workers (the
+// weak/strong scaling experiments simulate workers ingesting stream
+// fragments directly, Sec. 6.2). partsOfBatch must have one relation per
+// worker. The program must have been compiled with the delta tagged
+// Random.
+func (c *Cluster) RunPartitioned(prog *dist.DistProgram, partsOfBatch []*mring.Relation) (Metrics, error) {
+	if len(partsOfBatch) != len(c.workers) {
+		return Metrics{}, fmt.Errorf("cluster: got %d batch partitions for %d workers", len(partsOfBatch), len(c.workers))
+	}
+	dn := eval.DeltaName(prog.Relation)
+	for i, w := range c.workers {
+		w.rels[dn] = partsOfBatch[i]
+		if partsOfBatch[i] != nil {
+			c.schemas[dn] = partsOfBatch[i].Schema()
+		}
+	}
+	return c.runBlocks(prog)
+}
+
+func (c *Cluster) runBlocks(prog *dist.DistProgram) (Metrics, error) {
+	var m Metrics
+	m.Stages = prog.Stages()
+	m.Jobs = prog.Jobs()
+	for _, b := range prog.Blocks {
+		if b.Mode == dist.LDist {
+			if err := c.runDistBlock(b, prog, &m); err != nil {
+				return m, err
+			}
+			continue
+		}
+		if err := c.runLocalBlock(b, prog, &m); err != nil {
+			return m, err
+		}
+	}
+	return m, nil
+}
+
+// runLocalBlock executes driver-side statements; transformer statements
+// trigger data movement. All transformers of a block share one
+// communication round (the code-generation batching of Sec. 4.4).
+func (c *Cluster) runLocalBlock(b dist.Block, prog *dist.DistProgram, m *Metrics) error {
+	rounds := 0
+	var roundBytes int64
+	var maxWorkerBytes int64
+	computeStart := time.Now()
+	var ops int64
+	for _, s := range b.Stmts {
+		if x, ok := s.RHS.(*dist.Xform); ok {
+			bytes, maxPer, err := c.applyXform(s.LHS, x, prog)
+			if err != nil {
+				return err
+			}
+			rounds = 1
+			roundBytes += bytes
+			if maxPer > maxWorkerBytes {
+				maxWorkerBytes = maxPer
+			}
+			continue
+		}
+		o, err := c.runStmtOn(c.driver, s)
+		if err != nil {
+			return err
+		}
+		ops += o
+	}
+	compute := c.computeTime(ops, time.Since(computeStart))
+	m.Latency += compute
+	m.ComputeMax += compute
+	m.ComputeSum += compute
+	if rounds > 0 {
+		shuffle := c.cfg.NetLatency +
+			time.Duration(float64(maxWorkerBytes)/c.cfg.BandwidthBytesPerSec*float64(time.Second))
+		m.Latency += shuffle
+		m.ShuffledBytes += roundBytes
+		if maxWorkerBytes > m.MaxWorkerShuffleBytes {
+			m.MaxWorkerShuffleBytes = maxWorkerBytes
+		}
+	}
+	return nil
+}
+
+// runDistBlock executes one stage: every worker runs the block's
+// statements over its fragments. Stage latency is the scheduling overhead
+// plus the slowest worker's compute (with optional straggler inflation).
+func (c *Cluster) runDistBlock(b dist.Block, prog *dist.DistProgram, m *Metrics) error {
+	var maxCompute, sumCompute time.Duration
+	for _, w := range c.workers {
+		start := time.Now()
+		var ops int64
+		for _, s := range b.Stmts {
+			o, err := c.runStmtOn(w, s)
+			if err != nil {
+				return err
+			}
+			ops += o
+		}
+		compute := c.computeTime(ops, time.Since(start))
+		sumCompute += compute
+		if compute > maxCompute {
+			maxCompute = compute
+		}
+	}
+	if c.cfg.StragglerProb > 0 && c.rng.Float64() < c.cfg.StragglerProb {
+		maxCompute = time.Duration(float64(maxCompute) * c.cfg.StragglerFactor)
+	}
+	sched := c.cfg.SchedBase + time.Duration(c.cfg.Workers)*c.cfg.SchedPerWorker
+	m.Latency += sched + maxCompute
+	m.ComputeMax += maxCompute
+	m.ComputeSum += sumCompute
+	return nil
+}
+
+func (c *Cluster) computeTime(ops int64, measured time.Duration) time.Duration {
+	if c.cfg.ComputeNsPerOp > 0 {
+		return time.Duration(float64(ops) * c.cfg.ComputeNsPerOp)
+	}
+	return measured
+}
+
+// runStmtOn evaluates a compute statement against one node's state and
+// returns the operation count.
+func (c *Cluster) runStmtOn(n *node, s dist.Stmt) (int64, error) {
+	env := eval.NewEnv()
+	// Bind every relation the statement reads; lazily create fragments.
+	var missing error
+	walkRefs(s.RHS, func(r *expr.Rel) {
+		name := eval.RelEnvName(r)
+		schema, ok := c.schemas[name]
+		if !ok {
+			schema = r.Cols
+			c.schemas[name] = schema.Clone()
+		}
+		env.Bind(name, n.rel(name, schema))
+	})
+	if missing != nil {
+		return 0, missing
+	}
+	target := n.rel(s.LHS, c.schemaOf(s.LHS, s.RHS.Schema()))
+	ctx := eval.NewCtx(env)
+	tmp := ctx.Materialize(s.RHS)
+	if s.Op == eval.OpSet {
+		target.Clear()
+	}
+	target.Merge(tmp)
+	st := ctx.Stats
+	return st.Lookups + st.Scans + st.Emits, nil
+}
+
+// applyXform performs the data movement of one transformer statement and
+// returns (total bytes moved, max per-worker bytes).
+func (c *Cluster) applyXform(lhs string, x *dist.Xform, prog *dist.DistProgram) (int64, int64, error) {
+	src, ok := x.Body.(*expr.Rel)
+	if !ok {
+		return 0, 0, fmt.Errorf("cluster: transformer body is not a view reference: %s", x)
+	}
+	srcName := eval.RelEnvName(src)
+	srcSchema := c.schemaOf(srcName, src.Cols)
+	lhsSchema := c.schemaOf(lhs, srcSchema)
+	srcLoc := prog.Parts[srcName]
+	keyPos := make([]int, len(x.Key))
+	for i, k := range x.Key {
+		p := src.Cols.Index(k)
+		if p < 0 {
+			return 0, 0, fmt.Errorf("cluster: key column %q not in %s(%v)", k, srcName, src.Cols)
+		}
+		keyPos[i] = p
+	}
+
+	var total, maxPer int64
+	switch x.Kind {
+	case dist.XScatter:
+		srcRel := c.driver.rel(srcName, srcSchema)
+		if len(x.Key) == 0 {
+			// Broadcast: replicate to every worker.
+			payload := encodeSize(srcRel)
+			for _, w := range c.workers {
+				dst := w.rel(lhs, lhsSchema)
+				dst.Clear()
+				dst.Merge(srcRel)
+				total += payload
+			}
+			maxPer = payload
+			return total, maxPer, nil
+		}
+		frags := c.partition(srcRel, keyPos)
+		for i, w := range c.workers {
+			dst := w.rel(lhs, lhsSchema)
+			dst.Clear()
+			if frags[i] != nil {
+				dst.Merge(frags[i])
+				sz := encodeSize(frags[i])
+				total += sz
+				if sz > maxPer {
+					maxPer = sz
+				}
+			}
+		}
+		return total, maxPer, nil
+	case dist.XRepart:
+		// Exchange: each worker partitions its fragment; receivers merge.
+		incoming := make([]*mring.Relation, len(c.workers))
+		var sent = make([]int64, len(c.workers))
+		for wi, w := range c.workers {
+			frag := w.rel(srcName, srcSchema)
+			frags := c.partition(frag, keyPos)
+			for ti, f := range frags {
+				if f == nil || f.Len() == 0 {
+					continue
+				}
+				if ti != wi { // local data does not cross the network
+					sz := encodeSize(f)
+					total += sz
+					sent[wi] += sz
+				}
+				if incoming[ti] == nil {
+					incoming[ti] = mring.NewRelation(srcSchema)
+				}
+				incoming[ti].Merge(f)
+			}
+		}
+		for _, s := range sent {
+			if s > maxPer {
+				maxPer = s
+			}
+		}
+		for i, w := range c.workers {
+			dst := w.rel(lhs, lhsSchema)
+			dst.Clear()
+			if incoming[i] != nil {
+				dst.Merge(incoming[i])
+			}
+		}
+		_ = srcLoc
+		return total, maxPer, nil
+	default: // Gather
+		dst := c.driver.rel(lhs, lhsSchema)
+		dst.Clear()
+		for _, w := range c.workers {
+			frag := w.rel(srcName, srcSchema)
+			if frag.Len() == 0 {
+				continue
+			}
+			sz := encodeSize(frag)
+			total += sz
+			if sz > maxPer {
+				maxPer = sz
+			}
+			dst.Merge(frag)
+		}
+		return total, maxPer, nil
+	}
+}
+
+// partition splits a relation into per-worker fragments by key hash.
+func (c *Cluster) partition(r *mring.Relation, keyPos []int) []*mring.Relation {
+	out := make([]*mring.Relation, len(c.workers))
+	r.Foreach(func(t mring.Tuple, m float64) {
+		i := c.partIndex(t, keyPos)
+		if out[i] == nil {
+			out[i] = mring.NewRelation(r.Schema())
+		}
+		out[i].Add(t, m)
+	})
+	return out
+}
+
+// encodeSize serializes through the columnar wire format and returns the
+// payload size — the measured network traffic.
+func encodeSize(r *mring.Relation) int64 {
+	if r.Len() == 0 {
+		return 0
+	}
+	return int64(len(pool.FromRelation(r).Encode()))
+}
+
+// walkRefs visits every relational reference in an expression (descending
+// into transformer bodies, though compute statements carry none).
+func walkRefs(e expr.Expr, f func(*expr.Rel)) {
+	switch x := e.(type) {
+	case *dist.Xform:
+		walkRefs(x.Body, f)
+	case *expr.Rel:
+		f(x)
+	case *expr.Plus:
+		for _, t := range x.Terms {
+			walkRefs(t, f)
+		}
+	case *expr.Mul:
+		for _, t := range x.Factors {
+			walkRefs(t, f)
+		}
+	case *expr.Agg:
+		walkRefs(x.Body, f)
+	case *expr.Assign:
+		if x.Q != nil {
+			walkRefs(x.Q, f)
+		}
+	case *expr.Exists:
+		walkRefs(x.Body, f)
+	}
+}
+
+// ViewContents reconstructs the full logical contents of a view by
+// merging the driver copy and all worker fragments (for verification and
+// result reads).
+func (c *Cluster) ViewContents(name string) *mring.Relation {
+	schema := c.schemas[name]
+	out := mring.NewRelation(schema)
+	loc, ok := c.parts[name]
+	if ok && loc.Kind == dist.LLocal {
+		if r := c.driver.rels[name]; r != nil {
+			out.Merge(r)
+		}
+		return out
+	}
+	if loc.Kind == dist.LIndiff {
+		// Replicated: any single copy is the contents.
+		for _, w := range c.workers {
+			if r := w.rels[name]; r != nil {
+				out.Merge(r)
+				return out
+			}
+		}
+		return out
+	}
+	for _, w := range c.workers {
+		if r := w.rels[name]; r != nil {
+			out.Merge(r)
+		}
+	}
+	if !ok {
+		if r := c.driver.rels[name]; r != nil {
+			out.Merge(r)
+		}
+	}
+	return out
+}

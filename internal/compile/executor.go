@@ -1,0 +1,126 @@
+package compile
+
+import (
+	"fmt"
+
+	"repro/internal/eval"
+	"repro/internal/expr"
+	"repro/internal/mring"
+)
+
+// Executor runs a compiled maintenance program locally: it owns the
+// materialized view contents and applies update batches through the
+// program's triggers. The stream starts from an empty database, as in the
+// paper's streaming experiments; InitFromBases supports warm starts.
+type Executor struct {
+	prog  *Program
+	env   *eval.Env
+	views map[string]*mring.Relation
+	// Stats accumulates evaluation statistics across batches.
+	Stats eval.Stats
+	// SingleTuple processes batches one tuple at a time through the same
+	// triggers (the tuple-at-a-time comparison mode of Sec. 3.3).
+	SingleTuple bool
+	// Tracer forwards relation accesses (for the cache-locality
+	// experiment); nil disables tracing.
+	Tracer func(rel string, tupleHash uint64)
+}
+
+// NewExecutor creates an executor with empty view contents.
+func NewExecutor(prog *Program) *Executor {
+	ex := &Executor{
+		prog:  prog,
+		env:   eval.NewEnv(),
+		views: make(map[string]*mring.Relation),
+	}
+	for _, v := range prog.Views {
+		ex.views[v.Name] = ex.env.Define(v.Name, v.Schema)
+	}
+	return ex
+}
+
+// Program returns the compiled program backing the executor.
+func (ex *Executor) Program() *Program { return ex.prog }
+
+// View returns the contents of a materialized view (the query result
+// lives under the program's query name).
+func (ex *Executor) View(name string) *mring.Relation {
+	r := ex.views[name]
+	if r == nil {
+		panic(fmt.Sprintf("compile: unknown view %q", name))
+	}
+	return r
+}
+
+// Result returns the top-level query result view.
+func (ex *Executor) Result() *mring.Relation { return ex.View(ex.prog.QueryName) }
+
+// InitFromBases loads non-empty initial base tables by evaluating every
+// view definition from scratch.
+func (ex *Executor) InitFromBases(bases map[string]*mring.Relation) {
+	env := eval.NewEnv()
+	for n, r := range bases {
+		env.Bind(n, r)
+	}
+	ctx := eval.NewCtx(env)
+	for _, v := range ex.prog.Views {
+		if v.Transient {
+			continue
+		}
+		if expr.HasDelta(v.Def) {
+			continue
+		}
+		ctx.Apply(ex.views[v.Name], eval.OpSet, v.Def)
+	}
+}
+
+// ApplyBatch runs the trigger for base relation rel with the given update
+// batch (insertions have positive multiplicities, deletions negative).
+func (ex *Executor) ApplyBatch(rel string, batch *mring.Relation) {
+	trg := ex.prog.Triggers[rel]
+	if trg == nil {
+		panic(fmt.Sprintf("compile: no trigger for relation %q", rel))
+	}
+	if ex.SingleTuple {
+		single := mring.NewRelation(batch.Schema())
+		batch.Foreach(func(t mring.Tuple, m float64) {
+			single.Clear()
+			single.Add(t, m)
+			ex.runTrigger(trg, rel, single)
+		})
+		return
+	}
+	ex.runTrigger(trg, rel, batch)
+}
+
+func (ex *Executor) runTrigger(trg *Trigger, rel string, batch *mring.Relation) {
+	ex.env.Bind(eval.DeltaName(rel), batch)
+	ctx := eval.NewCtx(ex.env)
+	ctx.Tracer = ex.Tracer
+	for _, s := range trg.Stmts {
+		target := ex.views[s.LHS]
+		// Materialize the RHS before mutating the target so that
+		// self-references (and memoized slice indexes) observe a
+		// consistent pre-statement state.
+		tmp := ctx.Materialize(s.RHS)
+		if s.Op == eval.OpSet {
+			target.Clear()
+		}
+		target.Merge(tmp)
+		ctx.InvalidateIndexes()
+	}
+	ex.Stats.Add(ctx.Stats)
+}
+
+// MemoryFootprint returns the total number of tuples held across all
+// non-transient materialized views (the Sec. 6.1 memory discussion).
+func (ex *Executor) MemoryFootprint() int {
+	n := 0
+	for _, v := range ex.prog.Views {
+		if v.Transient {
+			continue
+		}
+		n += ex.views[v.Name].Len()
+	}
+	return n
+}

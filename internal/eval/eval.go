@@ -1,0 +1,519 @@
+// Package eval implements the paper's model of computation (Sec. 3.2.1):
+// expressions are trees of operators evaluated left to right, bottom up,
+// with information about bound variables flowing left to right through
+// products. Relational terms dispatch to foreach (no variables bound),
+// get (all bound), or slice (some bound) — the same three access patterns
+// the code generator specializes in Sec. 5.1.
+package eval
+
+import (
+	"fmt"
+
+	"repro/internal/expr"
+	"repro/internal/mring"
+)
+
+// Env maps relation names (base tables, delta batches, materialized views)
+// to their current contents. One Env backs one engine instance.
+type Env struct {
+	rels map[string]*mring.Relation
+}
+
+// NewEnv returns an empty environment.
+func NewEnv() *Env { return &Env{rels: make(map[string]*mring.Relation)} }
+
+// Define registers (or replaces) relation name with the given schema and
+// returns its empty contents.
+func (e *Env) Define(name string, schema mring.Schema) *mring.Relation {
+	r := mring.NewRelation(schema)
+	e.rels[name] = r
+	return r
+}
+
+// Bind registers an existing relation under name.
+func (e *Env) Bind(name string, r *mring.Relation) { e.rels[name] = r }
+
+// Rel returns the relation registered under name, or nil.
+func (e *Env) Rel(name string) *mring.Relation { return e.rels[name] }
+
+// MustRel returns the relation or panics; evaluation of compiled programs
+// treats missing relations as programming errors.
+func (e *Env) MustRel(name string) *mring.Relation {
+	r := e.rels[name]
+	if r == nil {
+		panic(fmt.Sprintf("eval: relation %q not defined", name))
+	}
+	return r
+}
+
+// Names returns all registered relation names (unordered).
+func (e *Env) Names() []string {
+	out := make([]string, 0, len(e.rels))
+	for n := range e.rels {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Binding tracks the variables bound during evaluation. Binding an
+// already-bound variable degrades to an equality check, which is exactly
+// the natural-join semantics of repeated column names.
+type Binding struct {
+	vals map[string]mring.Value
+}
+
+// NewBinding returns an empty binding.
+func NewBinding() *Binding { return &Binding{vals: make(map[string]mring.Value)} }
+
+// Lookup returns the value bound to name; it panics when unbound, because
+// compiled programs guarantee boundness of value-term variables.
+func (b *Binding) Lookup(name string) mring.Value {
+	v, ok := b.vals[name]
+	if !ok {
+		panic(fmt.Sprintf("eval: variable %q unbound", name))
+	}
+	return v
+}
+
+// Get returns the value and whether name is bound.
+func (b *Binding) Get(name string) (mring.Value, bool) {
+	v, ok := b.vals[name]
+	return v, ok
+}
+
+// Set binds name to v unconditionally. Callers use the returned prior
+// state to restore.
+func (b *Binding) set(name string, v mring.Value) {
+	b.vals[name] = v
+}
+
+func (b *Binding) unset(name string) { delete(b.vals, name) }
+
+// Tuple projects the binding onto the schema.
+func (b *Binding) Tuple(schema mring.Schema) mring.Tuple {
+	t := make(mring.Tuple, len(schema))
+	for i, c := range schema {
+		t[i] = b.Lookup(c)
+	}
+	return t
+}
+
+// Stats accumulates operation counts during evaluation. They feed the
+// distributed cost model and the cache-locality experiment.
+type Stats struct {
+	Lookups  int64 // get operations on relations
+	Scans    int64 // tuples visited by foreach/slice
+	Emits    int64 // tuples produced
+	IndexOps int64 // ad-hoc index builds
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(o Stats) {
+	s.Lookups += o.Lookups
+	s.Scans += o.Scans
+	s.Emits += o.Emits
+	s.IndexOps += o.IndexOps
+}
+
+// Ctx is one evaluation context. It memoizes ad-hoc hash indexes built for
+// slice access patterns; indexes are valid only while the underlying
+// relations do not change, so a Ctx must not outlive a trigger statement
+// that mutates its inputs.
+type Ctx struct {
+	Env   *Env
+	Stats Stats
+	// sliceIdx caches, per (relation name, bound-column mask), a hash
+	// index from bound-column key to matching tuples.
+	sliceIdx map[string]map[string][]idxEntry
+	// Tracer, when non-nil, observes every relation memory touch for the
+	// cache-locality experiment.
+	Tracer func(rel string, tupleHash uint64)
+}
+
+type idxEntry struct {
+	t mring.Tuple
+	m float64
+}
+
+// NewCtx returns a fresh evaluation context over env.
+func NewCtx(env *Env) *Ctx {
+	return &Ctx{Env: env, sliceIdx: make(map[string]map[string][]idxEntry)}
+}
+
+// InvalidateIndexes drops memoized slice indexes; call after mutating any
+// relation the context may have indexed.
+func (c *Ctx) InvalidateIndexes() {
+	clear(c.sliceIdx)
+}
+
+// Eval evaluates e under binding b, invoking emit once per produced tuple
+// extension with its multiplicity. After each emit, the schema columns of
+// e are bound in b; bindings are restored before Eval returns.
+func (c *Ctx) Eval(e expr.Expr, b *Binding, emit func(m float64)) {
+	switch x := e.(type) {
+	case *expr.Const:
+		if x.V != 0 {
+			c.Stats.Emits++
+			emit(x.V)
+		}
+	case *expr.Val:
+		v := x.E.EvalV(b.Lookup).AsFloat()
+		if v != 0 {
+			c.Stats.Emits++
+			emit(v)
+		}
+	case *expr.Cmp:
+		if expr.EvalCmp(x.Op, x.L.EvalV(b.Lookup), x.R.EvalV(b.Lookup)) {
+			c.Stats.Emits++
+			emit(1)
+		}
+	case *expr.Rel:
+		c.evalRel(x, b, emit)
+	case *expr.Mul:
+		c.evalMul(x.Factors, b, 1, emit)
+	case *expr.Plus:
+		// Downstream operators are linear in multiplicity, so streaming
+		// each term is equivalent to materializing the union first.
+		for _, t := range x.Terms {
+			c.Eval(t, b, emit)
+		}
+	case *expr.Agg:
+		c.evalAgg(x, b, emit)
+	case *expr.Assign:
+		c.evalAssign(x, b, emit)
+	case *expr.Exists:
+		c.evalExists(x, b, emit)
+	default:
+		panic(fmt.Sprintf("eval: unknown node %T", e))
+	}
+}
+
+func (c *Ctx) evalMul(factors []expr.Expr, b *Binding, acc float64, emit func(m float64)) {
+	if len(factors) == 0 {
+		emit(acc)
+		return
+	}
+	head, rest := factors[0], factors[1:]
+	c.Eval(head, b, func(m float64) {
+		c.evalMul(rest, b, acc*m, emit)
+	})
+}
+
+// DeltaName returns the environment name under which the update batch of
+// base relation name is registered ("ΔR" for base table "R").
+func DeltaName(name string) string { return "Δ" + name }
+
+// RelEnvName returns the environment key a relational term resolves to.
+func RelEnvName(r *expr.Rel) string {
+	if r.Kind == expr.RDelta {
+		return DeltaName(r.Name)
+	}
+	return r.Name
+}
+
+// evalRel dispatches on which columns are already bound.
+func (c *Ctx) evalRel(r *expr.Rel, b *Binding, emit func(m float64)) {
+	rel := c.Env.MustRel(RelEnvName(r))
+	var boundCols, freeCols []int
+	for i, col := range r.Cols {
+		if _, ok := b.Get(col); ok {
+			boundCols = append(boundCols, i)
+		} else {
+			freeCols = append(freeCols, i)
+		}
+	}
+	switch {
+	case len(freeCols) == 0:
+		// get: all columns bound — single lookup.
+		key := make(mring.Tuple, len(r.Cols))
+		for i, col := range r.Cols {
+			key[i] = b.Lookup(col)
+		}
+		c.Stats.Lookups++
+		if c.Tracer != nil {
+			c.Tracer(r.Name, key.Hash())
+		}
+		if m := rel.Get(key); m != 0 {
+			c.Stats.Emits++
+			emit(m)
+		}
+	case len(boundCols) == 0:
+		// foreach: scan the whole collection.
+		rel.Foreach(func(t mring.Tuple, m float64) {
+			c.Stats.Scans++
+			if c.Tracer != nil {
+				c.Tracer(r.Name, t.Hash())
+			}
+			if len(t) != len(r.Cols) {
+				panic(fmt.Sprintf("eval: arity mismatch scanning %s", r.Name))
+			}
+			for i, col := range r.Cols {
+				b.set(col, t[i])
+			}
+			c.Stats.Emits++
+			emit(m)
+		})
+		for _, i := range freeCols {
+			b.unset(r.Cols[i])
+		}
+	default:
+		// slice: some bound — probe a memoized hash index.
+		c.evalSlice(r, rel, b, boundCols, freeCols, emit)
+	}
+}
+
+func (c *Ctx) evalSlice(r *expr.Rel, rel *mring.Relation, b *Binding, boundCols, freeCols []int, emit func(m float64)) {
+	mask := RelEnvName(r)
+	for _, i := range boundCols {
+		mask += "|" + r.Cols[i]
+	}
+	idx, ok := c.sliceIdx[mask]
+	if !ok {
+		idx = make(map[string][]idxEntry)
+		rel.Foreach(func(t mring.Tuple, m float64) {
+			k := t.Project(boundCols).Key()
+			idx[k] = append(idx[k], idxEntry{t: t, m: m})
+		})
+		c.sliceIdx[mask] = idx
+		c.Stats.IndexOps++
+	}
+	probe := make(mring.Tuple, len(boundCols))
+	for j, i := range boundCols {
+		probe[j] = b.Lookup(r.Cols[i])
+	}
+	c.Stats.Lookups++
+	for _, e := range idx[probe.Key()] {
+		c.Stats.Scans++
+		if c.Tracer != nil {
+			c.Tracer(r.Name, e.t.Hash())
+		}
+		for _, i := range freeCols {
+			b.set(r.Cols[i], e.t[i])
+		}
+		c.Stats.Emits++
+		emit(e.m)
+	}
+	for _, i := range freeCols {
+		b.unset(r.Cols[i])
+	}
+}
+
+// evalAgg materializes Sum_[gb](body): groups body results by the group-by
+// columns and emits one tuple per group with the summed multiplicity.
+func (c *Ctx) evalAgg(a *expr.Agg, b *Binding, emit func(m float64)) {
+	bodySchema := a.Body.Schema()
+	gbPresent := make([]bool, len(a.GroupBy))
+	for i, col := range a.GroupBy {
+		gbPresent[i] = bodySchema.Contains(col)
+	}
+	type group struct {
+		t mring.Tuple
+		m float64
+	}
+	groups := make(map[string]*group)
+	order := []string{}
+	c.Eval(a.Body, b, func(m float64) {
+		t := make(mring.Tuple, len(a.GroupBy))
+		for i, col := range a.GroupBy {
+			t[i] = b.Lookup(col)
+		}
+		k := t.Key()
+		g, ok := groups[k]
+		if !ok {
+			g = &group{t: t}
+			groups[k] = g
+			order = append(order, k)
+		}
+		g.m += m
+	})
+	var wasBound []int
+	var savedVals []mring.Value
+	for i, col := range a.GroupBy {
+		if v, ok := b.Get(col); ok {
+			wasBound = append(wasBound, i)
+			savedVals = append(savedVals, v)
+		}
+	}
+	for _, k := range order {
+		g := groups[k]
+		if g.m > -mring.Eps && g.m < mring.Eps {
+			continue
+		}
+		for i, col := range a.GroupBy {
+			b.set(col, g.t[i])
+		}
+		c.Stats.Emits++
+		emit(g.m)
+	}
+	for _, col := range a.GroupBy {
+		b.unset(col)
+	}
+	for j, i := range wasBound {
+		b.set(a.GroupBy[i], savedVals[j])
+	}
+}
+
+// evalAssign handles both assignment forms.
+func (c *Ctx) evalAssign(a *expr.Assign, b *Binding, emit func(m float64)) {
+	if a.Q == nil {
+		// var := value.
+		v := a.ValE.EvalV(b.Lookup)
+		if prev, ok := b.Get(a.Var); ok {
+			// Bound variable: acts as an equality filter.
+			if prev.Equal(v) {
+				c.Stats.Emits++
+				emit(1)
+			}
+			return
+		}
+		b.set(a.Var, v)
+		c.Stats.Emits++
+		emit(1)
+		b.unset(a.Var)
+		return
+	}
+	// var := Q. Lifting is not linear in Q's multiplicities, so Q is
+	// materialized under the current (correlated) bindings.
+	qs := a.Q.Schema()
+	if len(qs) == 0 {
+		// Scalar nested aggregate: always defined, 0 when Q is empty
+		// (COUNT over the empty set).
+		var total float64
+		c.Eval(a.Q, b, func(m float64) { total += m })
+		c.bindLifted(a.Var, mring.Float(total), b, emit)
+		return
+	}
+	rel := c.evalToRelation(a.Q, b)
+	// Remember outer bindings of Q's schema columns so they are restored.
+	var saved []struct {
+		col string
+		v   mring.Value
+		ok  bool
+	}
+	for _, col := range qs {
+		v, ok := b.Get(col)
+		saved = append(saved, struct {
+			col string
+			v   mring.Value
+			ok  bool
+		}{col, v, ok})
+	}
+	rel.Foreach(func(t mring.Tuple, m float64) {
+		for i, col := range qs {
+			b.set(col, t[i])
+		}
+		c.bindLifted(a.Var, mring.Float(m), b, emit)
+	})
+	for _, s := range saved {
+		if s.ok {
+			b.set(s.col, s.v)
+		} else {
+			b.unset(s.col)
+		}
+	}
+}
+
+func (c *Ctx) bindLifted(v string, val mring.Value, b *Binding, emit func(m float64)) {
+	if prev, ok := b.Get(v); ok {
+		if prev.Equal(val) {
+			c.Stats.Emits++
+			emit(1)
+		}
+		return
+	}
+	b.set(v, val)
+	c.Stats.Emits++
+	emit(1)
+	b.unset(v)
+}
+
+// evalExists materializes the body and emits each distinct tuple with
+// multiplicity 1. Exists is not linear, so the body must be materialized
+// (duplicate emissions for one tuple collapse to a single 1).
+func (c *Ctx) evalExists(e *expr.Exists, b *Binding, emit func(m float64)) {
+	s := e.Body.Schema()
+	if len(s) == 0 {
+		var total float64
+		c.Eval(e.Body, b, func(m float64) { total += m })
+		if total < -mring.Eps || total > mring.Eps {
+			c.Stats.Emits++
+			emit(1)
+		}
+		return
+	}
+	rel := c.evalToRelation(e.Body, b)
+	var saved []struct {
+		v  mring.Value
+		ok bool
+	}
+	for _, col := range s {
+		v, ok := b.Get(col)
+		saved = append(saved, struct {
+			v  mring.Value
+			ok bool
+		}{v, ok})
+	}
+	rel.Foreach(func(t mring.Tuple, _ float64) {
+		for i, col := range s {
+			b.set(col, t[i])
+		}
+		c.Stats.Emits++
+		emit(1)
+	})
+	for i, col := range s {
+		if saved[i].ok {
+			b.set(col, saved[i].v)
+		} else {
+			b.unset(col)
+		}
+	}
+}
+
+// evalToRelation materializes e under the current binding.
+func (c *Ctx) evalToRelation(e expr.Expr, b *Binding) *mring.Relation {
+	s := e.Schema()
+	out := mring.NewRelation(s)
+	c.Eval(e, b, func(m float64) {
+		out.Add(b.Tuple(s), m)
+	})
+	return out
+}
+
+// Materialize evaluates e with no outer bindings into a fresh relation
+// whose schema is e.Schema().
+func (c *Ctx) Materialize(e expr.Expr) *mring.Relation {
+	return c.evalToRelation(e, NewBinding())
+}
+
+// EvalIntoOp applies op to target for every tuple produced by e.
+type AssignOp uint8
+
+// Statement operators.
+const (
+	OpAdd AssignOp = iota // target += e
+	OpSet                 // target := e (replace contents)
+)
+
+func (op AssignOp) String() string {
+	if op == OpAdd {
+		return "+="
+	}
+	return ":="
+}
+
+// Apply evaluates e and folds it into target using op. For OpSet the
+// target is cleared first. Target's schema must match e's output schema
+// column-for-column (by position; names may differ for views).
+func (c *Ctx) Apply(target *mring.Relation, op AssignOp, e expr.Expr) {
+	if op == OpSet {
+		target.Clear()
+	}
+	s := e.Schema()
+	if len(s) != len(target.Schema()) {
+		panic(fmt.Sprintf("eval: schema arity mismatch applying %v to %v", s, target.Schema()))
+	}
+	b := NewBinding()
+	c.Eval(e, b, func(m float64) {
+		target.Add(b.Tuple(s), m)
+	})
+}

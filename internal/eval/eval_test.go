@@ -1,0 +1,358 @@
+package eval
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/expr"
+	"repro/internal/mring"
+)
+
+func tup(vs ...any) mring.Tuple {
+	t := make(mring.Tuple, len(vs))
+	for i, v := range vs {
+		switch x := v.(type) {
+		case int:
+			t[i] = mring.Int(int64(x))
+		case float64:
+			t[i] = mring.Float(x)
+		case string:
+			t[i] = mring.Str(x)
+		default:
+			panic("bad test value")
+		}
+	}
+	return t
+}
+
+// fill populates relation name in env with rows of (tuple, mult).
+func fill(env *Env, name string, schema mring.Schema, rows ...struct {
+	t mring.Tuple
+	m float64
+}) *mring.Relation {
+	r := env.Define(name, schema)
+	for _, row := range rows {
+		r.Add(row.t, row.m)
+	}
+	return r
+}
+
+func row(m float64, vs ...any) struct {
+	t mring.Tuple
+	m float64
+} {
+	return struct {
+		t mring.Tuple
+		m float64
+	}{tup(vs...), m}
+}
+
+func TestEvalRelForeach(t *testing.T) {
+	env := NewEnv()
+	fill(env, "R", mring.Schema{"a", "b"}, row(2, 1, 10), row(3, 2, 20))
+	ctx := NewCtx(env)
+	got := ctx.Materialize(expr.Base("R", "a", "b"))
+	if got.Get(tup(1, 10)) != 2 || got.Get(tup(2, 20)) != 3 {
+		t.Fatalf("foreach wrong: %v", got)
+	}
+}
+
+func TestEvalJoinAndAgg(t *testing.T) {
+	// Example 2.1: Sum_[B](R(A,B) ⋈ S(B,C) ⋈ T(C,D))
+	env := NewEnv()
+	fill(env, "R", mring.Schema{"A", "B"}, row(1, 1, 10), row(1, 2, 10), row(1, 3, 20))
+	fill(env, "S", mring.Schema{"B", "C"}, row(1, 10, 100), row(2, 20, 200))
+	fill(env, "T", mring.Schema{"C", "D"}, row(1, 100, 7), row(1, 100, 8), row(1, 200, 9))
+	q := expr.Sum([]string{"B"},
+		expr.Join(expr.Base("R", "A", "B"), expr.Base("S", "B", "C"), expr.Base("T", "C", "D")))
+	got := NewCtx(env).Materialize(q)
+	// B=10: R(1,10)+R(2,10) each join S(10,100), T has two D rows -> mult 2*2=4
+	if got.Get(tup(10)) != 4 {
+		t.Errorf("B=10 mult = %g, want 4", got.Get(tup(10)))
+	}
+	// B=20: R(3,20) ⋈ S(20,200)×2 ⋈ T(200,9) -> 2
+	if got.Get(tup(20)) != 2 {
+		t.Errorf("B=20 mult = %g, want 2", got.Get(tup(20)))
+	}
+}
+
+func TestEvalComparisonFilter(t *testing.T) {
+	env := NewEnv()
+	fill(env, "R", mring.Schema{"a", "b"}, row(1, 1, 5), row(1, 2, 10), row(1, 3, 15))
+	q := expr.Sum([]string{"a"},
+		expr.Join(expr.Base("R", "a", "b"), expr.CmpE(expr.CGt, expr.V("b"), expr.LitI(7))))
+	got := NewCtx(env).Materialize(q)
+	if got.Len() != 2 || got.Get(tup(2)) != 1 || got.Get(tup(3)) != 1 {
+		t.Fatalf("filter wrong: %v", got)
+	}
+}
+
+func TestEvalGetAndSlice(t *testing.T) {
+	// R(a) ⋈ S(a, b): per R-tuple, a is bound -> slice on S.
+	env := NewEnv()
+	fill(env, "R", mring.Schema{"a"}, row(1, 1), row(1, 2))
+	fill(env, "S", mring.Schema{"a", "b"}, row(1, 1, 10), row(2, 1, 11), row(1, 2, 20))
+	q := expr.Join(expr.Base("R", "a"), expr.Base("S", "a", "b"))
+	ctx := NewCtx(env)
+	got := ctx.Materialize(q)
+	if got.Get(tup(1, 10)) != 1 || got.Get(tup(1, 11)) != 2 || got.Get(tup(2, 20)) != 1 {
+		t.Fatalf("slice join wrong: %v", got)
+	}
+	if ctx.Stats.IndexOps != 1 {
+		t.Fatalf("expected 1 ad-hoc index build, got %d", ctx.Stats.IndexOps)
+	}
+	// Full-key lookup: both columns bound -> get.
+	q2 := expr.Join(expr.Base("S", "a", "b"), expr.Base("S", "a", "b"))
+	got2 := NewCtx(env).Materialize(q2)
+	if got2.Get(tup(1, 10)) != 1 || got2.Get(tup(1, 11)) != 4 || got2.Get(tup(2, 20)) != 1 {
+		t.Fatalf("self join wrong: %v", got2)
+	}
+}
+
+func TestEvalValueTerm(t *testing.T) {
+	// SELECT a, b, SUM(a) ... : R(a,b) ⋈ [a]
+	env := NewEnv()
+	fill(env, "R", mring.Schema{"a", "b"}, row(2, 3, 1), row(1, 5, 2))
+	q := expr.Sum([]string{"b"}, expr.Join(expr.Base("R", "a", "b"), expr.ValE(expr.V("a"))))
+	got := NewCtx(env).Materialize(q)
+	if got.Get(tup(1)) != 6 || got.Get(tup(2)) != 5 {
+		t.Fatalf("value term wrong: %v", got)
+	}
+}
+
+func TestEvalAssignValue(t *testing.T) {
+	env := NewEnv()
+	fill(env, "R", mring.Schema{"a"}, row(1, 4))
+	q := expr.Join(expr.Base("R", "a"), expr.LiftV("x", expr.MulV(expr.V("a"), expr.LitI(2))))
+	got := NewCtx(env).Materialize(q)
+	if got.Get(tup(4, 8)) != 1 {
+		t.Fatalf("assign-value wrong: %v", got)
+	}
+}
+
+func TestEvalNestedAggregate(t *testing.T) {
+	// Example 3.1: COUNT(*) FROM R WHERE R.A < (SELECT COUNT(*) FROM S WHERE R.B = S.B)
+	env := NewEnv()
+	fill(env, "R", mring.Schema{"A", "B"}, row(1, 1, 7), row(1, 3, 7), row(1, 0, 9))
+	fill(env, "S", mring.Schema{"B2", "C"}, row(1, 7, 1), row(1, 7, 2)) // two rows with B2=7
+	inner := expr.Sum(nil, expr.Join(expr.Base("S", "B2", "C"), expr.Eq(expr.V("B"), expr.V("B2"))))
+	q := expr.Sum(nil, expr.Join(
+		expr.Base("R", "A", "B"),
+		expr.LiftQ("X", inner),
+		expr.CmpE(expr.CLt, expr.V("A"), expr.V("X"))))
+	got := NewCtx(env).Materialize(q)
+	// R(1,7): X=2, 1<2 ok. R(3,7): X=2, 3<2 no. R(0,9): X=0, 0<0 no.
+	if got.Get(mring.Tuple{}) != 1 {
+		t.Fatalf("nested agg count = %g, want 1", got.Get(mring.Tuple{}))
+	}
+}
+
+func TestEvalExistsDistinct(t *testing.T) {
+	// Example 3.2: SELECT DISTINCT A FROM R WHERE B > 3
+	env := NewEnv()
+	fill(env, "R", mring.Schema{"A", "B"}, row(5, 1, 4), row(2, 1, 9), row(1, 2, 1))
+	q := expr.ExistsE(expr.Sum([]string{"A"},
+		expr.Join(expr.Base("R", "A", "B"), expr.CmpE(expr.CGt, expr.V("B"), expr.LitI(3)))))
+	got := NewCtx(env).Materialize(q)
+	if got.Len() != 1 || got.Get(tup(1)) != 1 {
+		t.Fatalf("distinct wrong: %v", got)
+	}
+}
+
+func TestEvalExistentialQuantification(t *testing.T) {
+	// EXISTS variant: (X := Qn) ⋈ (X != 0)
+	env := NewEnv()
+	fill(env, "R", mring.Schema{"A", "B"}, row(1, 1, 7), row(1, 2, 8))
+	fill(env, "S", mring.Schema{"B2"}, row(3, 7))
+	inner := expr.Sum(nil, expr.Join(expr.Base("S", "B2"), expr.Eq(expr.V("B"), expr.V("B2"))))
+	q := expr.Sum(nil, expr.Join(
+		expr.Base("R", "A", "B"),
+		expr.LiftQ("X", inner),
+		expr.CmpE(expr.CNe, expr.V("X"), expr.LitI(0))))
+	got := NewCtx(env).Materialize(q)
+	if got.Get(mring.Tuple{}) != 1 {
+		t.Fatalf("exists count = %g, want 1", got.Get(mring.Tuple{}))
+	}
+}
+
+func TestEvalPlusStreamsThroughJoin(t *testing.T) {
+	// (R + R) ⋈ S must equal 2*(R ⋈ S).
+	env := NewEnv()
+	fill(env, "R", mring.Schema{"a"}, row(1, 1))
+	fill(env, "S", mring.Schema{"a", "b"}, row(1, 1, 2))
+	q := expr.Join(expr.Add(expr.Base("R", "a"), expr.Base("R", "a")), expr.Base("S", "a", "b"))
+	got := NewCtx(env).Materialize(q)
+	if got.Get(tup(1, 2)) != 2 {
+		t.Fatalf("streamed union wrong: %v", got)
+	}
+}
+
+func TestEvalNegation(t *testing.T) {
+	env := NewEnv()
+	fill(env, "R", mring.Schema{"a"}, row(2, 1))
+	q := expr.Add(expr.Base("R", "a"), expr.Neg(expr.Base("R", "a")))
+	got := NewCtx(env).Materialize(q)
+	if got.Len() != 0 {
+		t.Fatalf("R - R should be empty: %v", got)
+	}
+}
+
+func TestApplyOps(t *testing.T) {
+	env := NewEnv()
+	fill(env, "R", mring.Schema{"a"}, row(2, 1))
+	target := mring.NewRelation(mring.Schema{"a"})
+	ctx := NewCtx(env)
+	ctx.Apply(target, OpAdd, expr.Base("R", "a"))
+	ctx.Apply(target, OpAdd, expr.Base("R", "a"))
+	if target.Get(tup(1)) != 4 {
+		t.Fatalf("OpAdd wrong: %v", target)
+	}
+	ctx.Apply(target, OpSet, expr.Base("R", "a"))
+	if target.Get(tup(1)) != 2 {
+		t.Fatalf("OpSet wrong: %v", target)
+	}
+}
+
+func TestAggRestoresBindings(t *testing.T) {
+	// Correlated aggregate inside a join must not leak bindings.
+	env := NewEnv()
+	fill(env, "R", mring.Schema{"a"}, row(1, 1), row(1, 2))
+	fill(env, "S", mring.Schema{"a", "b"}, row(1, 1, 5), row(1, 2, 6))
+	q := expr.Sum([]string{"a"},
+		expr.Join(expr.Base("R", "a"), expr.LiftQ("X",
+			expr.Sum(nil, expr.Base("S", "a", "b")))))
+	got := NewCtx(env).Materialize(q)
+	// For each R row the nested Q counts S rows with matching a (correlated): 1 each.
+	if got.Get(tup(1)) != 1 || got.Get(tup(2)) != 1 {
+		t.Fatalf("correlated agg wrong: %v", got)
+	}
+}
+
+func TestScalarLiftEmptyInnerIsZero(t *testing.T) {
+	// COUNT over empty correlated set must lift X := 0, not filter the row.
+	env := NewEnv()
+	fill(env, "R", mring.Schema{"A"}, row(1, 5))
+	env.Define("S", mring.Schema{"A2"})
+	inner := expr.Sum(nil, expr.Join(expr.Base("S", "A2"), expr.Eq(expr.V("A"), expr.V("A2"))))
+	q := expr.Sum(nil, expr.Join(
+		expr.Base("R", "A"),
+		expr.LiftQ("X", inner),
+		expr.CmpE(expr.CGe, expr.V("A"), expr.V("X"))))
+	got := NewCtx(env).Materialize(q)
+	if got.Get(mring.Tuple{}) != 1 {
+		t.Fatalf("empty nested agg should bind 0; got %v", got)
+	}
+}
+
+// Property: for random flat join-aggregate queries, evaluation distributes
+// over bag union of one input: Q(R1 + R2) = Q(R1) + Q(R2) for linear Q.
+func TestQuickLinearity(t *testing.T) {
+	build := func(seed int64) (*mring.Relation, *mring.Relation, *mring.Relation) {
+		rng := rand.New(rand.NewSource(seed))
+		mk := func() *mring.Relation {
+			r := mring.NewRelation(mring.Schema{"a", "b"})
+			for i := 0; i < rng.Intn(20); i++ {
+				r.Add(tup(rng.Intn(4), rng.Intn(4)), float64(rng.Intn(5)-2))
+			}
+			return r
+		}
+		s := mring.NewRelation(mring.Schema{"b", "c"})
+		for i := 0; i < 10; i++ {
+			s.Add(tup(rng.Intn(4), rng.Intn(4)), float64(1+rng.Intn(3)))
+		}
+		return mk(), mk(), s
+	}
+	q := expr.Sum([]string{"b"}, expr.Join(expr.Base("R", "a", "b"), expr.Base("S", "b", "c")))
+	prop := func(seed int64) bool {
+		r1, r2, s := build(seed)
+		run := func(r *mring.Relation) *mring.Relation {
+			env := NewEnv()
+			env.Bind("R", r)
+			env.Bind("S", s)
+			return NewCtx(env).Materialize(q)
+		}
+		sum := r1.Clone()
+		sum.Merge(r2)
+		lhs := run(sum)
+		rhs := run(r1)
+		rhs.Merge(run(r2))
+		return lhs.EqualApprox(rhs, 1e-6)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsAccumulation(t *testing.T) {
+	env := NewEnv()
+	fill(env, "R", mring.Schema{"a"}, row(1, 1), row(1, 2))
+	ctx := NewCtx(env)
+	ctx.Materialize(expr.Base("R", "a"))
+	if ctx.Stats.Scans != 2 || ctx.Stats.Emits != 2 {
+		t.Fatalf("stats wrong: %+v", ctx.Stats)
+	}
+	var agg Stats
+	agg.Add(ctx.Stats)
+	agg.Add(ctx.Stats)
+	if agg.Scans != 4 {
+		t.Fatalf("Stats.Add wrong: %+v", agg)
+	}
+}
+
+func TestEvalSliceIndexInvalidation(t *testing.T) {
+	// After mutating a relation, memoized slice indexes must be dropped.
+	env := NewEnv()
+	r := fill(env, "R", mring.Schema{"a"}, row(1, 1))
+	fill(env, "S", mring.Schema{"a", "b"}, row(1, 1, 10))
+	ctx := NewCtx(env)
+	q := expr.Join(expr.Base("R", "a"), expr.Base("S", "a", "b"))
+	if got := ctx.Materialize(q); got.Len() != 1 {
+		t.Fatalf("first eval wrong: %v", got)
+	}
+	env.Rel("S").Add(tup(1, 11), 1)
+	r.Add(tup(2), 1)
+	ctx.InvalidateIndexes()
+	got := ctx.Materialize(q)
+	if got.Len() != 2 {
+		t.Fatalf("post-invalidation eval wrong: %v", got)
+	}
+}
+
+func TestEvalDeltaNameResolution(t *testing.T) {
+	// Base R and ΔR coexist under distinct environment names.
+	env := NewEnv()
+	fill(env, "R", mring.Schema{"a"}, row(1, 1))
+	fill(env, DeltaName("R"), mring.Schema{"a"}, row(1, 2))
+	ctx := NewCtx(env)
+	base := ctx.Materialize(expr.Base("R", "a"))
+	delta := ctx.Materialize(expr.Delta("R", "a"))
+	if base.Get(tup(1)) != 1 || delta.Get(tup(2)) != 1 || delta.Len() != 1 {
+		t.Fatalf("delta name resolution broken: base=%v delta=%v", base, delta)
+	}
+}
+
+func TestEnvNamesAndMustRel(t *testing.T) {
+	env := NewEnv()
+	env.Define("A", mring.Schema{"x"})
+	env.Define("B", mring.Schema{"y"})
+	if len(env.Names()) != 2 {
+		t.Fatalf("Names = %v", env.Names())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustRel should panic on missing relation")
+		}
+	}()
+	env.MustRel("missing")
+}
+
+func TestBindingTuplePanicsOnUnbound(t *testing.T) {
+	b := NewBinding()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unbound variable")
+		}
+	}()
+	b.Tuple(mring.Schema{"nope"})
+}

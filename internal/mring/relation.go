@@ -1,0 +1,270 @@
+package mring
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Eps is the threshold under which a multiplicity counts as zero; tuples
+// whose multiplicity crosses zero are removed from the relation so that
+// every stored tuple has a non-zero multiplicity, as the data model demands.
+const Eps = 1e-9
+
+// Schema is an ordered list of column names.
+type Schema []string
+
+// Index returns the position of col in the schema, or -1.
+func (s Schema) Index(col string) int {
+	for i, c := range s {
+		if c == col {
+			return i
+		}
+	}
+	return -1
+}
+
+// Contains reports whether col is in the schema.
+func (s Schema) Contains(col string) bool { return s.Index(col) >= 0 }
+
+// Positions maps each column name in cols to its position in s.
+// It panics if a column is missing; schema mismatches are programming
+// errors in compiled trigger programs.
+func (s Schema) Positions(cols []string) []int {
+	idx := make([]int, len(cols))
+	for i, c := range cols {
+		j := s.Index(c)
+		if j < 0 {
+			panic(fmt.Sprintf("mring: column %q not in schema %v", c, s))
+		}
+		idx[i] = j
+	}
+	return idx
+}
+
+// Equal reports whether two schemas have the same columns in the same order.
+func (s Schema) Equal(o Schema) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for i := range s {
+		if s[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone copies the schema.
+func (s Schema) Clone() Schema { return append(Schema(nil), s...) }
+
+// Intersect returns the columns of s also present in o, in s's order.
+func (s Schema) Intersect(o Schema) Schema {
+	var out Schema
+	for _, c := range s {
+		if o.Contains(c) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Union returns s followed by the columns of o not in s.
+func (s Schema) Union(o Schema) Schema {
+	out := s.Clone()
+	for _, c := range o {
+		if !out.Contains(c) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// entry stores one unique tuple and its multiplicity.
+type entry struct {
+	t Tuple
+	m float64
+}
+
+// Relation is a generalized multiset relation: a finite map from unique
+// tuples to non-zero multiplicities. The zero value is not ready to use;
+// construct with NewRelation.
+type Relation struct {
+	schema Schema
+	m      map[string]entry
+}
+
+// NewRelation returns an empty relation with the given schema.
+func NewRelation(schema Schema) *Relation {
+	return &Relation{schema: schema.Clone(), m: make(map[string]entry)}
+}
+
+// Schema returns the relation's column names. Callers must not mutate it.
+func (r *Relation) Schema() Schema { return r.schema }
+
+// Len returns the number of tuples with non-zero multiplicity.
+func (r *Relation) Len() int { return len(r.m) }
+
+// Add adds m to the multiplicity of tuple t, inserting or deleting as
+// needed. The tuple is copied; callers may reuse t.
+func (r *Relation) Add(t Tuple, m float64) {
+	if m == 0 {
+		return
+	}
+	k := t.Key()
+	e, ok := r.m[k]
+	if !ok {
+		r.m[k] = entry{t: t.Clone(), m: m}
+		return
+	}
+	e.m += m
+	if e.m > -Eps && e.m < Eps {
+		delete(r.m, k)
+		return
+	}
+	r.m[k] = e
+}
+
+// Set forces the multiplicity of t to m (removing the tuple when m is zero).
+func (r *Relation) Set(t Tuple, m float64) {
+	k := t.Key()
+	if m > -Eps && m < Eps {
+		delete(r.m, k)
+		return
+	}
+	r.m[k] = entry{t: t.Clone(), m: m}
+}
+
+// Get returns the multiplicity of t (zero if absent).
+func (r *Relation) Get(t Tuple) float64 { return r.m[t.Key()].m }
+
+// GetKey returns the multiplicity stored under a pre-encoded key.
+func (r *Relation) GetKey(k string) float64 { return r.m[k].m }
+
+// Foreach calls f for every tuple with non-zero multiplicity. Iteration
+// order is unspecified. f must not mutate the relation.
+func (r *Relation) Foreach(f func(t Tuple, m float64)) {
+	for _, e := range r.m {
+		f(e.t, e.m)
+	}
+}
+
+// ForeachSorted iterates in the deterministic tuple order; it is intended
+// for tests and report output, not hot paths.
+func (r *Relation) ForeachSorted(f func(t Tuple, m float64)) {
+	es := make([]entry, 0, len(r.m))
+	for _, e := range r.m {
+		es = append(es, e)
+	}
+	sort.Slice(es, func(i, j int) bool { return es[i].t.Less(es[j].t) })
+	for _, e := range es {
+		f(e.t, e.m)
+	}
+}
+
+// Clone returns a deep copy.
+func (r *Relation) Clone() *Relation {
+	c := NewRelation(r.schema)
+	for k, e := range r.m {
+		c.m[k] = entry{t: e.t.Clone(), m: e.m}
+	}
+	return c
+}
+
+// Clear removes all tuples.
+func (r *Relation) Clear() {
+	clear(r.m)
+}
+
+// Merge adds every tuple of o (bag union in place).
+func (r *Relation) Merge(o *Relation) {
+	o.Foreach(func(t Tuple, m float64) { r.Add(t, m) })
+}
+
+// MergeScaled adds every tuple of o with multiplicity scaled by c.
+func (r *Relation) MergeScaled(o *Relation, c float64) {
+	o.Foreach(func(t Tuple, m float64) { r.Add(t, m*c) })
+}
+
+// Equal reports whether two relations hold the same tuples with
+// multiplicities equal within Eps.
+func (r *Relation) Equal(o *Relation) bool {
+	if len(r.m) != len(o.m) {
+		return false
+	}
+	for k, e := range r.m {
+		oe, ok := o.m[k]
+		if !ok {
+			return false
+		}
+		d := e.m - oe.m
+		if d < -Eps || d > Eps {
+			return false
+		}
+	}
+	return true
+}
+
+// EqualApprox is Equal with a caller-chosen tolerance, for float-heavy
+// aggregate comparisons.
+func (r *Relation) EqualApprox(o *Relation, tol float64) bool {
+	seen := 0
+	for k, e := range r.m {
+		oe, ok := o.m[k]
+		if !ok {
+			if e.m < -tol || e.m > tol {
+				return false
+			}
+			continue
+		}
+		seen++
+		d := e.m - oe.m
+		if d < -tol || d > tol {
+			return false
+		}
+	}
+	for k, oe := range o.m {
+		if _, ok := r.m[k]; !ok && (oe.m < -tol || oe.m > tol) {
+			return false
+		}
+	}
+	_ = seen
+	return true
+}
+
+// TotalMult returns the sum of all multiplicities (the COUNT(*)/SUM value
+// of an aggregate relation with an empty schema).
+func (r *Relation) TotalMult() float64 {
+	var s float64
+	for _, e := range r.m {
+		s += e.m
+	}
+	return s
+}
+
+// String renders the relation deterministically, for debugging and tests.
+func (r *Relation) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%v{", []string(r.schema))
+	first := true
+	r.ForeachSorted(func(t Tuple, m float64) {
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+		fmt.Fprintf(&b, "%v->%g", t, m)
+	})
+	b.WriteString("}")
+	return b.String()
+}
+
+// ProjectSum returns Sum_[cols](r): tuples projected onto cols with
+// multiplicities summed per group.
+func (r *Relation) ProjectSum(cols []string) *Relation {
+	idx := r.schema.Positions(cols)
+	out := NewRelation(Schema(cols))
+	r.Foreach(func(t Tuple, m float64) {
+		out.Add(t.Project(idx), m)
+	})
+	return out
+}

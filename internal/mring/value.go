@@ -1,0 +1,237 @@
+// Package mring implements generalized multiset relations — the data model
+// of DBToaster-style incremental view maintenance. A relation maps each
+// unique tuple to a non-zero multiplicity. Multiplicities generalize counts
+// to aggregate values (SUM, AVG numerators, ...), so refreshing an aggregate
+// means changing a multiplicity rather than deleting and re-inserting tuples.
+package mring
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// Kind enumerates the value types supported in tuples.
+type Kind uint8
+
+// Supported value kinds.
+const (
+	KInt Kind = iota
+	KFloat
+	KString
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KInt:
+		return "int"
+	case KFloat:
+		return "float"
+	case KString:
+		return "string"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Value is a tagged union holding one column value of a tuple.
+// The zero Value is the integer 0.
+type Value struct {
+	K Kind
+	I int64
+	F float64
+	S string
+}
+
+// Int returns an integer Value.
+func Int(i int64) Value { return Value{K: KInt, I: i} }
+
+// Float returns a floating-point Value.
+func Float(f float64) Value { return Value{K: KFloat, F: f} }
+
+// String returns a string Value.
+func Str(s string) Value { return Value{K: KString, S: s} }
+
+// AsFloat converts the value to float64 for arithmetic.
+// Strings convert to their parse result, or 0 if unparsable.
+func (v Value) AsFloat() float64 {
+	switch v.K {
+	case KInt:
+		return float64(v.I)
+	case KFloat:
+		return v.F
+	default:
+		f, _ := strconv.ParseFloat(v.S, 64)
+		return f
+	}
+}
+
+// AsInt converts the value to int64, truncating floats.
+func (v Value) AsInt() int64 {
+	switch v.K {
+	case KInt:
+		return v.I
+	case KFloat:
+		return int64(v.F)
+	default:
+		i, _ := strconv.ParseInt(v.S, 10, 64)
+		return i
+	}
+}
+
+// Equal reports whether two values are equal. Numeric values compare by
+// numeric value across KInt/KFloat; strings compare only to strings.
+func (v Value) Equal(o Value) bool {
+	if v.K == KString || o.K == KString {
+		return v.K == KString && o.K == KString && v.S == o.S
+	}
+	if v.K == KInt && o.K == KInt {
+		return v.I == o.I
+	}
+	return v.AsFloat() == o.AsFloat()
+}
+
+// Less reports whether v sorts before o. Numbers sort before strings;
+// mixed numeric kinds compare numerically.
+func (v Value) Less(o Value) bool {
+	if v.K == KString || o.K == KString {
+		if v.K != KString {
+			return true
+		}
+		if o.K != KString {
+			return false
+		}
+		return v.S < o.S
+	}
+	if v.K == KInt && o.K == KInt {
+		return v.I < o.I
+	}
+	return v.AsFloat() < o.AsFloat()
+}
+
+// Compare returns -1, 0, or +1 ordering v against o, consistent with Less.
+func (v Value) Compare(o Value) int {
+	if v.Equal(o) {
+		return 0
+	}
+	if v.Less(o) {
+		return -1
+	}
+	return 1
+}
+
+func (v Value) String() string {
+	switch v.K {
+	case KInt:
+		return strconv.FormatInt(v.I, 10)
+	case KFloat:
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	default:
+		return strconv.Quote(v.S)
+	}
+}
+
+// Tuple is an ordered list of column values. Column names live in the
+// relation's schema, not in the tuple.
+type Tuple []Value
+
+// Clone returns a copy of the tuple that shares no backing storage.
+func (t Tuple) Clone() Tuple {
+	c := make(Tuple, len(t))
+	copy(c, t)
+	return c
+}
+
+// Equal reports element-wise equality.
+func (t Tuple) Equal(o Tuple) bool {
+	if len(t) != len(o) {
+		return false
+	}
+	for i := range t {
+		if !t[i].Equal(o[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Less imposes a total order used for deterministic iteration in tests
+// and reports.
+func (t Tuple) Less(o Tuple) bool {
+	n := len(t)
+	if len(o) < n {
+		n = len(o)
+	}
+	for i := 0; i < n; i++ {
+		if c := t[i].Compare(o[i]); c != 0 {
+			return c < 0
+		}
+	}
+	return len(t) < len(o)
+}
+
+func (t Tuple) String() string {
+	s := "("
+	for i, v := range t {
+		if i > 0 {
+			s += ", "
+		}
+		s += v.String()
+	}
+	return s + ")"
+}
+
+// EncodeKey appends a canonical byte encoding of the tuple to dst and
+// returns the result. Two tuples encode equal iff they are Equal: integers
+// and integral floats share an encoding so that Int(3) and Float(3) collide
+// as the data model requires.
+func (t Tuple) EncodeKey(dst []byte) []byte {
+	var buf [9]byte
+	for _, v := range t {
+		switch v.K {
+		case KString:
+			dst = append(dst, 's')
+			dst = binary.AppendUvarint(dst, uint64(len(v.S)))
+			dst = append(dst, v.S...)
+		default:
+			f := v.AsFloat()
+			if i := int64(f); float64(i) == f {
+				buf[0] = 'i'
+				binary.LittleEndian.PutUint64(buf[1:], uint64(i))
+			} else {
+				buf[0] = 'f'
+				binary.LittleEndian.PutUint64(buf[1:], math.Float64bits(f))
+			}
+			dst = append(dst, buf[:]...)
+		}
+	}
+	return dst
+}
+
+// Key returns the canonical string key for the tuple, suitable as a map key.
+func (t Tuple) Key() string { return string(t.EncodeKey(nil)) }
+
+// Hash returns a 64-bit FNV-1a hash of the tuple's canonical encoding.
+func (t Tuple) Hash() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	var scratch [64]byte
+	b := t.EncodeKey(scratch[:0])
+	h := uint64(offset64)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= prime64
+	}
+	return h
+}
+
+// Project returns the sub-tuple at the given positions.
+func (t Tuple) Project(idx []int) Tuple {
+	out := make(Tuple, len(idx))
+	for i, j := range idx {
+		out[i] = t[j]
+	}
+	return out
+}

@@ -1,0 +1,297 @@
+package pool
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/mring"
+)
+
+// Column is one typed column of a columnar batch. Exactly one of the value
+// slices is populated, according to Kind.
+type Column struct {
+	Kind mring.Kind
+	Ints []int64
+	Flts []float64
+	Strs []string
+}
+
+// Len returns the number of values in the column.
+func (c *Column) Len() int {
+	switch c.Kind {
+	case mring.KInt:
+		return len(c.Ints)
+	case mring.KFloat:
+		return len(c.Flts)
+	default:
+		return len(c.Strs)
+	}
+}
+
+func (c *Column) append(v mring.Value) {
+	switch c.Kind {
+	case mring.KInt:
+		c.Ints = append(c.Ints, v.AsInt())
+	case mring.KFloat:
+		c.Flts = append(c.Flts, v.AsFloat())
+	default:
+		c.Strs = append(c.Strs, v.S)
+	}
+}
+
+func (c *Column) value(i int) mring.Value {
+	switch c.Kind {
+	case mring.KInt:
+		return mring.Int(c.Ints[i])
+	case mring.KFloat:
+		return mring.Float(c.Flts[i])
+	default:
+		return mring.Str(c.Strs[i])
+	}
+}
+
+// ColBatch is a column-oriented batch of (tuple, multiplicity) pairs —
+// the layout used for input batches and serialized shuffle payloads
+// (Sec. 5.2.2): filtering simple static conditions over one column at a
+// time touches contiguous memory.
+type ColBatch struct {
+	Schema mring.Schema
+	Cols   []Column
+	Mults  []float64
+}
+
+// NewColBatch creates an empty columnar batch. kinds fixes each column's
+// type up front (generated code knows the input schema's types).
+func NewColBatch(schema mring.Schema, kinds []mring.Kind) *ColBatch {
+	if len(schema) != len(kinds) {
+		panic("pool: schema/kinds arity mismatch")
+	}
+	cols := make([]Column, len(kinds))
+	for i, k := range kinds {
+		cols[i].Kind = k
+	}
+	return &ColBatch{Schema: schema.Clone(), Cols: cols}
+}
+
+// Len returns the number of rows.
+func (b *ColBatch) Len() int { return len(b.Mults) }
+
+// Append adds one row.
+func (b *ColBatch) Append(t mring.Tuple, m float64) {
+	if len(t) != len(b.Cols) {
+		panic("pool: tuple arity mismatch")
+	}
+	for i := range b.Cols {
+		b.Cols[i].append(t[i])
+	}
+	b.Mults = append(b.Mults, m)
+}
+
+// Row materializes row i.
+func (b *ColBatch) Row(i int) (mring.Tuple, float64) {
+	t := make(mring.Tuple, len(b.Cols))
+	for j := range b.Cols {
+		t[j] = b.Cols[j].value(i)
+	}
+	return t, b.Mults[i]
+}
+
+// Foreach visits every row, materializing tuples into a reused buffer.
+func (b *ColBatch) Foreach(f func(t mring.Tuple, m float64)) {
+	t := make(mring.Tuple, len(b.Cols))
+	for i := range b.Mults {
+		for j := range b.Cols {
+			t[j] = b.Cols[j].value(i)
+		}
+		f(t, b.Mults[i])
+	}
+}
+
+// FilterInt keeps rows whose int column col satisfies keep. It returns a
+// new batch; the receiver is unchanged. Columnar filtering touches one
+// column contiguously, the cache-locality argument of Sec. 5.2.2.
+func (b *ColBatch) FilterInt(col string, keep func(int64) bool) *ColBatch {
+	ci := b.Schema.Index(col)
+	if ci < 0 || b.Cols[ci].Kind != mring.KInt {
+		panic(fmt.Sprintf("pool: no int column %q", col))
+	}
+	kinds := make([]mring.Kind, len(b.Cols))
+	for i := range b.Cols {
+		kinds[i] = b.Cols[i].Kind
+	}
+	out := NewColBatch(b.Schema, kinds)
+	var idx []int
+	for i, v := range b.Cols[ci].Ints {
+		if keep(v) {
+			idx = append(idx, i)
+		}
+	}
+	for _, i := range idx {
+		t, m := b.Row(i)
+		out.Append(t, m)
+	}
+	return out
+}
+
+// FromRelation converts row-format contents to columnar form. Column
+// kinds are taken from the first tuple; empty relations produce int
+// columns.
+func FromRelation(r *mring.Relation) *ColBatch {
+	kinds := make([]mring.Kind, len(r.Schema()))
+	first := true
+	r.Foreach(func(t mring.Tuple, _ float64) {
+		if first {
+			for i, v := range t {
+				kinds[i] = v.K
+			}
+			first = false
+		}
+	})
+	b := NewColBatch(r.Schema(), kinds)
+	r.Foreach(func(t mring.Tuple, m float64) { b.Append(t, m) })
+	return b
+}
+
+// ToRelation converts back to row format, merging duplicate tuples.
+func (b *ColBatch) ToRelation() *mring.Relation {
+	r := mring.NewRelation(b.Schema)
+	b.Foreach(func(t mring.Tuple, m float64) { r.Add(t, m) })
+	return r
+}
+
+// Encode serializes the batch into a compact binary columnar layout. The
+// format is self-describing: schema, column kinds, then per-column value
+// arrays, then multiplicities. It is the wire format of the simulated
+// cluster's shuffles; its length measures network traffic.
+func (b *ColBatch) Encode() []byte {
+	var buf []byte
+	buf = binary.AppendUvarint(buf, uint64(len(b.Schema)))
+	for i, name := range b.Schema {
+		buf = binary.AppendUvarint(buf, uint64(len(name)))
+		buf = append(buf, name...)
+		buf = append(buf, byte(b.Cols[i].Kind))
+	}
+	n := b.Len()
+	buf = binary.AppendUvarint(buf, uint64(n))
+	for i := range b.Cols {
+		c := &b.Cols[i]
+		switch c.Kind {
+		case mring.KInt:
+			for _, v := range c.Ints {
+				buf = binary.AppendVarint(buf, v)
+			}
+		case mring.KFloat:
+			for _, v := range c.Flts {
+				buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+			}
+		default:
+			for _, v := range c.Strs {
+				buf = binary.AppendUvarint(buf, uint64(len(v)))
+				buf = append(buf, v...)
+			}
+		}
+	}
+	for _, m := range b.Mults {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(m))
+	}
+	return buf
+}
+
+// Decode deserializes a batch produced by Encode.
+func Decode(buf []byte) (*ColBatch, error) {
+	pos := 0
+	readUvarint := func() (uint64, error) {
+		v, n := binary.Uvarint(buf[pos:])
+		if n <= 0 {
+			return 0, fmt.Errorf("pool: truncated batch at byte %d", pos)
+		}
+		pos += n
+		return v, nil
+	}
+	nc, err := readUvarint()
+	if err != nil {
+		return nil, err
+	}
+	schema := make(mring.Schema, nc)
+	kinds := make([]mring.Kind, nc)
+	for i := 0; i < int(nc); i++ {
+		ln, err := readUvarint()
+		if err != nil {
+			return nil, err
+		}
+		if pos+int(ln)+1 > len(buf) {
+			return nil, fmt.Errorf("pool: truncated column header")
+		}
+		schema[i] = string(buf[pos : pos+int(ln)])
+		pos += int(ln)
+		kinds[i] = mring.Kind(buf[pos])
+		pos++
+	}
+	nr, err := readUvarint()
+	if err != nil {
+		return nil, err
+	}
+	b := NewColBatch(schema, kinds)
+	n := int(nr)
+	for i := range b.Cols {
+		c := &b.Cols[i]
+		switch c.Kind {
+		case mring.KInt:
+			c.Ints = make([]int64, n)
+			for j := 0; j < n; j++ {
+				v, w := binary.Varint(buf[pos:])
+				if w <= 0 {
+					return nil, fmt.Errorf("pool: truncated int column")
+				}
+				pos += w
+				c.Ints[j] = v
+			}
+		case mring.KFloat:
+			c.Flts = make([]float64, n)
+			for j := 0; j < n; j++ {
+				if pos+8 > len(buf) {
+					return nil, fmt.Errorf("pool: truncated float column")
+				}
+				c.Flts[j] = math.Float64frombits(binary.LittleEndian.Uint64(buf[pos:]))
+				pos += 8
+			}
+		default:
+			c.Strs = make([]string, n)
+			for j := 0; j < n; j++ {
+				ln, err := readUvarint()
+				if err != nil {
+					return nil, err
+				}
+				if pos+int(ln) > len(buf) {
+					return nil, fmt.Errorf("pool: truncated string column")
+				}
+				c.Strs[j] = string(buf[pos : pos+int(ln)])
+				pos += int(ln)
+			}
+		}
+	}
+	b.Mults = make([]float64, n)
+	for j := 0; j < n; j++ {
+		if pos+8 > len(buf) {
+			return nil, fmt.Errorf("pool: truncated multiplicities")
+		}
+		b.Mults[j] = math.Float64frombits(binary.LittleEndian.Uint64(buf[pos:]))
+		pos += 8
+	}
+	return b, nil
+}
+
+// EncodeRowFormat serializes tuple-at-a-time (row-oriented) for the
+// columnar-vs-row serialization ablation; it is typically larger and
+// slower than Encode for wide batches.
+func EncodeRowFormat(r *mring.Relation) []byte {
+	var buf []byte
+	buf = binary.AppendUvarint(buf, uint64(r.Len()))
+	r.Foreach(func(t mring.Tuple, m float64) {
+		buf = binary.AppendUvarint(buf, uint64(len(t)))
+		buf = t.EncodeKey(buf)
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(m))
+	})
+	return buf
+}

@@ -1,0 +1,323 @@
+// Package pool implements the specialized data structures of Sec. 5.2:
+// record pools storing fixed-format records in main memory with free-list
+// reuse, multi-indexed by one unique hash index (get/update/delete) and any
+// number of non-unique hash indexes (slice). Records keep back references
+// to their index buckets so updates and deletes avoid re-hashing, as in
+// Fig. 6. The package also provides columnar batch layouts and the
+// row/column transformers used for serialization (Sec. 5.2.2).
+package pool
+
+import (
+	"fmt"
+
+	"repro/internal/mring"
+)
+
+const (
+	minBuckets    = 16
+	maxLoadFactor = 0.75
+	growthFactor  = 2
+	tombstoneSlot = -2
+	emptySlot     = -1
+)
+
+// Record is one pooled record: key fields (the view schema) and one value
+// field (the generalized multiplicity).
+type Record struct {
+	Key mring.Tuple
+	Val float64
+	// hash caches the key hash (the "H" field of Fig. 6).
+	hash uint64
+	// next links records in the unique index bucket chain.
+	next int32
+	// idxNext links records in each secondary index bucket chain; one slot
+	// per secondary index ("I1", "I2", ... of Fig. 6).
+	idxNext []int32
+	// live marks occupied pool slots (false = on the free list).
+	live bool
+}
+
+// SecondaryIndex is a non-unique hash index over a subset of key columns.
+// It clusters records sharing the same partial key to shorten slices.
+type SecondaryIndex struct {
+	name    string
+	keyCols []int // positions into Record.Key
+	buckets []int32
+	mask    uint64
+	size    int
+}
+
+// Pool is a record pool with a unique hash index over the full key.
+type Pool struct {
+	schema  mring.Schema
+	recs    []Record
+	free    []int32 // free slot list
+	buckets []int32 // unique index buckets (head record per bucket)
+	mask    uint64
+	size    int
+	second  []*SecondaryIndex
+	// Accesses counts record touches for the cache-locality experiment.
+	Accesses int64
+}
+
+// New creates an empty pool for the given schema.
+func New(schema mring.Schema) *Pool {
+	p := &Pool{
+		schema:  schema.Clone(),
+		buckets: newBuckets(minBuckets),
+		mask:    minBuckets - 1,
+	}
+	return p
+}
+
+func newBuckets(n int) []int32 {
+	b := make([]int32, n)
+	for i := range b {
+		b[i] = emptySlot
+	}
+	return b
+}
+
+// Schema returns the pool's key schema.
+func (p *Pool) Schema() mring.Schema { return p.schema }
+
+// Len returns the number of live records.
+func (p *Pool) Len() int { return p.size }
+
+// AddSecondaryIndex registers a non-unique index over the named columns.
+// It must be called before records are inserted; the compiler's access
+// pattern analysis decides which indexes exist (Sec. 5.2.1).
+func (p *Pool) AddSecondaryIndex(name string, cols []string) *SecondaryIndex {
+	if p.size > 0 {
+		panic("pool: secondary indexes must be added before inserts")
+	}
+	idx := &SecondaryIndex{
+		name:    name,
+		keyCols: p.schema.Positions(cols),
+		buckets: newBuckets(minBuckets),
+		mask:    minBuckets - 1,
+	}
+	p.second = append(p.second, idx)
+	return idx
+}
+
+// SecondaryIndexes returns the registered secondary indexes.
+func (p *Pool) SecondaryIndexes() []*SecondaryIndex { return p.second }
+
+// Get returns the value stored under key (0 when absent).
+func (p *Pool) Get(key mring.Tuple) float64 {
+	h := key.Hash()
+	for i := p.buckets[h&p.mask]; i != emptySlot; i = p.recs[i].next {
+		p.Accesses++
+		r := &p.recs[i]
+		if r.hash == h && r.Key.Equal(key) {
+			return r.Val
+		}
+	}
+	return 0
+}
+
+// Add adds delta to the value under key, inserting a record when absent
+// and removing it when the value reaches zero (multiset semantics).
+func (p *Pool) Add(key mring.Tuple, delta float64) {
+	if delta == 0 {
+		return
+	}
+	h := key.Hash()
+	b := h & p.mask
+	var prev int32 = emptySlot
+	for i := p.buckets[b]; i != emptySlot; i = p.recs[i].next {
+		p.Accesses++
+		r := &p.recs[i]
+		if r.hash == h && r.Key.Equal(key) {
+			r.Val += delta
+			if r.Val > -mring.Eps && r.Val < mring.Eps {
+				p.removeRecord(i, prev, b)
+			}
+			return
+		}
+		prev = i
+	}
+	p.insert(key, delta, h)
+}
+
+// Set forces the value under key (removing on zero).
+func (p *Pool) Set(key mring.Tuple, val float64) {
+	h := key.Hash()
+	b := h & p.mask
+	var prev int32 = emptySlot
+	for i := p.buckets[b]; i != emptySlot; i = p.recs[i].next {
+		p.Accesses++
+		r := &p.recs[i]
+		if r.hash == h && r.Key.Equal(key) {
+			if val > -mring.Eps && val < mring.Eps {
+				p.removeRecord(i, prev, b)
+				return
+			}
+			r.Val = val
+			return
+		}
+		prev = i
+	}
+	if val > -mring.Eps && val < mring.Eps {
+		return
+	}
+	p.insert(key, val, h)
+}
+
+func (p *Pool) insert(key mring.Tuple, val float64, h uint64) {
+	var slot int32
+	if n := len(p.free); n > 0 {
+		slot = p.free[n-1]
+		p.free = p.free[:n-1]
+		r := &p.recs[slot]
+		r.Key = key.Clone()
+		r.Val = val
+		r.hash = h
+		r.live = true
+	} else {
+		slot = int32(len(p.recs))
+		p.recs = append(p.recs, Record{
+			Key:     key.Clone(),
+			Val:     val,
+			hash:    h,
+			live:    true,
+			idxNext: make([]int32, len(p.second)),
+		})
+	}
+	rec := &p.recs[slot]
+	if rec.idxNext == nil || len(rec.idxNext) != len(p.second) {
+		rec.idxNext = make([]int32, len(p.second))
+	}
+	b := h & p.mask
+	rec.next = p.buckets[b]
+	p.buckets[b] = slot
+	for si, idx := range p.second {
+		ih := rec.Key.Project(idx.keyCols).Hash()
+		ib := ih & idx.mask
+		rec.idxNext[si] = idx.buckets[ib]
+		idx.buckets[ib] = slot
+		idx.size++
+	}
+	p.size++
+	if float64(p.size) > maxLoadFactor*float64(len(p.buckets)) {
+		p.grow()
+	}
+}
+
+func (p *Pool) removeRecord(i, prev int32, bucket uint64) {
+	r := &p.recs[i]
+	if prev == emptySlot {
+		p.buckets[bucket] = r.next
+	} else {
+		p.recs[prev].next = r.next
+	}
+	// Unlink from secondary indexes (walk the bucket chain; back
+	// references give us the bucket without re-hashing the full key).
+	for si, idx := range p.second {
+		ih := r.Key.Project(idx.keyCols).Hash()
+		ib := ih & idx.mask
+		if idx.buckets[ib] == i {
+			idx.buckets[ib] = r.idxNext[si]
+		} else {
+			for j := idx.buckets[ib]; j != emptySlot; j = p.recs[j].idxNext[si] {
+				if p.recs[j].idxNext[si] == i {
+					p.recs[j].idxNext[si] = r.idxNext[si]
+					break
+				}
+			}
+		}
+		idx.size--
+	}
+	r.live = false
+	r.Key = nil
+	p.free = append(p.free, i)
+	p.size--
+}
+
+func (p *Pool) grow() {
+	n := len(p.buckets) * growthFactor
+	p.buckets = newBuckets(n)
+	p.mask = uint64(n - 1)
+	for si, idx := range p.second {
+		idx.buckets = newBuckets(n)
+		idx.mask = uint64(n - 1)
+		_ = si
+	}
+	for i := range p.recs {
+		r := &p.recs[i]
+		if !r.live {
+			continue
+		}
+		b := r.hash & p.mask
+		r.next = p.buckets[b]
+		p.buckets[b] = int32(i)
+		for si, idx := range p.second {
+			ih := r.Key.Project(idx.keyCols).Hash()
+			ib := ih & idx.mask
+			r.idxNext[si] = idx.buckets[ib]
+			idx.buckets[ib] = int32(i)
+		}
+	}
+}
+
+// Foreach visits every live record.
+func (p *Pool) Foreach(f func(key mring.Tuple, val float64)) {
+	for i := range p.recs {
+		r := &p.recs[i]
+		if r.live {
+			p.Accesses++
+			f(r.Key, r.Val)
+		}
+	}
+}
+
+// Slice visits records whose projection onto the index columns equals
+// partial. The index must have been registered with AddSecondaryIndex.
+func (p *Pool) Slice(idx *SecondaryIndex, partial mring.Tuple, f func(key mring.Tuple, val float64)) {
+	si := -1
+	for i, s := range p.second {
+		if s == idx {
+			si = i
+			break
+		}
+	}
+	if si < 0 {
+		panic(fmt.Sprintf("pool: index %q not registered on this pool", idx.name))
+	}
+	h := partial.Hash()
+	for i := idx.buckets[h&idx.mask]; i != emptySlot; i = p.recs[i].idxNext[si] {
+		p.Accesses++
+		r := &p.recs[i]
+		if r.Key.Project(idx.keyCols).Equal(partial) {
+			f(r.Key, r.Val)
+		}
+	}
+}
+
+// Clear removes all records, retaining allocated capacity.
+func (p *Pool) Clear() {
+	p.recs = p.recs[:0]
+	p.free = p.free[:0]
+	p.buckets = newBuckets(minBuckets)
+	p.mask = minBuckets - 1
+	for _, idx := range p.second {
+		idx.buckets = newBuckets(minBuckets)
+		idx.mask = minBuckets - 1
+		idx.size = 0
+	}
+	p.size = 0
+}
+
+// ToRelation copies the pool contents into a generalized multiset relation.
+func (p *Pool) ToRelation() *mring.Relation {
+	r := mring.NewRelation(p.schema)
+	p.Foreach(func(k mring.Tuple, v float64) { r.Set(k, v) })
+	return r
+}
+
+// FromRelation bulk-loads the pool from a relation (after Clear).
+func (p *Pool) FromRelation(r *mring.Relation) {
+	p.Clear()
+	r.Foreach(func(t mring.Tuple, m float64) { p.Set(t, m) })
+}

@@ -1,0 +1,293 @@
+package pool
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mring"
+)
+
+func tup(vs ...int) mring.Tuple {
+	t := make(mring.Tuple, len(vs))
+	for i, v := range vs {
+		t[i] = mring.Int(int64(v))
+	}
+	return t
+}
+
+func TestPoolBasicOps(t *testing.T) {
+	p := New(mring.Schema{"a", "b"})
+	p.Add(tup(1, 2), 3)
+	p.Add(tup(1, 2), 2)
+	if got := p.Get(tup(1, 2)); got != 5 {
+		t.Fatalf("Get = %g, want 5", got)
+	}
+	p.Add(tup(1, 2), -5)
+	if p.Len() != 0 || p.Get(tup(1, 2)) != 0 {
+		t.Fatal("zero-value record should be removed")
+	}
+	p.Set(tup(3, 4), 7)
+	p.Set(tup(3, 4), 1)
+	if got := p.Get(tup(3, 4)); got != 1 {
+		t.Fatalf("Set = %g, want 1", got)
+	}
+	p.Set(tup(3, 4), 0)
+	if p.Len() != 0 {
+		t.Fatal("Set(0) should delete")
+	}
+}
+
+func TestPoolFreeListReuse(t *testing.T) {
+	p := New(mring.Schema{"a"})
+	for i := 0; i < 100; i++ {
+		p.Add(tup(i), 1)
+	}
+	for i := 0; i < 100; i++ {
+		p.Add(tup(i), -1)
+	}
+	if p.Len() != 0 {
+		t.Fatal("pool should be empty")
+	}
+	recsBefore := len(p.recs)
+	for i := 100; i < 200; i++ {
+		p.Add(tup(i), 1)
+	}
+	if len(p.recs) != recsBefore {
+		t.Fatalf("free slots not reused: %d records allocated, had %d", len(p.recs), recsBefore)
+	}
+	for i := 100; i < 200; i++ {
+		if p.Get(tup(i)) != 1 {
+			t.Fatalf("lost record %d after reuse", i)
+		}
+	}
+}
+
+func TestPoolGrowRetainsRecords(t *testing.T) {
+	p := New(mring.Schema{"a"})
+	const n = 10_000
+	for i := 0; i < n; i++ {
+		p.Add(tup(i), float64(i+1))
+	}
+	if p.Len() != n {
+		t.Fatalf("Len = %d, want %d", p.Len(), n)
+	}
+	for i := 0; i < n; i += 997 {
+		if got := p.Get(tup(i)); got != float64(i+1) {
+			t.Fatalf("Get(%d) = %g after growth", i, got)
+		}
+	}
+}
+
+func TestSecondaryIndexSlice(t *testing.T) {
+	p := New(mring.Schema{"a", "b"})
+	idx := p.AddSecondaryIndex("by_a", []string{"a"})
+	for a := 0; a < 10; a++ {
+		for b := 0; b < 5; b++ {
+			p.Add(tup(a, b), float64(a*10+b+1))
+		}
+	}
+	var got int
+	p.Slice(idx, tup(3), func(k mring.Tuple, v float64) {
+		if k[0].I != 3 {
+			t.Fatalf("slice returned wrong key %v", k)
+		}
+		got++
+	})
+	if got != 5 {
+		t.Fatalf("slice visited %d records, want 5", got)
+	}
+	// After deleting records, the slice must shrink accordingly.
+	p.Add(tup(3, 0), -31)
+	p.Add(tup(3, 1), -32)
+	got = 0
+	p.Slice(idx, tup(3), func(mring.Tuple, float64) { got++ })
+	if got != 3 {
+		t.Fatalf("slice after delete visited %d, want 3", got)
+	}
+}
+
+func TestSecondaryIndexAfterGrowth(t *testing.T) {
+	p := New(mring.Schema{"a", "b"})
+	idx := p.AddSecondaryIndex("by_a", []string{"a"})
+	const n = 3000
+	for i := 0; i < n; i++ {
+		p.Add(tup(i%50, i), 1)
+	}
+	count := 0
+	p.Slice(idx, tup(7), func(mring.Tuple, float64) { count++ })
+	if count != n/50 {
+		t.Fatalf("slice after growth visited %d, want %d", count, n/50)
+	}
+}
+
+func TestAddSecondaryIndexAfterInsertPanics(t *testing.T) {
+	p := New(mring.Schema{"a"})
+	p.Add(tup(1), 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	p.AddSecondaryIndex("late", []string{"a"})
+}
+
+func TestSliceUnregisteredIndexPanics(t *testing.T) {
+	p := New(mring.Schema{"a"})
+	other := New(mring.Schema{"a"})
+	idx := other.AddSecondaryIndex("x", []string{"a"})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	p.Slice(idx, tup(1), func(mring.Tuple, float64) {})
+}
+
+// Property: a pool behaves exactly like a multiset relation under random
+// add/set/delete sequences, including with a secondary index attached.
+func TestQuickPoolMatchesRelation(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := New(mring.Schema{"a", "b"})
+		p.AddSecondaryIndex("by_a", []string{"a"})
+		ref := mring.NewRelation(mring.Schema{"a", "b"})
+		for i := 0; i < 300; i++ {
+			k := tup(rng.Intn(8), rng.Intn(8))
+			switch rng.Intn(3) {
+			case 0:
+				d := float64(rng.Intn(5) - 2)
+				p.Add(k, d)
+				ref.Add(k, d)
+			case 1:
+				v := float64(rng.Intn(4))
+				p.Set(k, v)
+				ref.Set(k, v)
+			default:
+				if p.Get(k) != ref.Get(k) {
+					return false
+				}
+			}
+		}
+		return p.ToRelation().Equal(ref)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPoolClearAndReload(t *testing.T) {
+	p := New(mring.Schema{"a"})
+	idx := p.AddSecondaryIndex("by_a", []string{"a"})
+	p.Add(tup(1), 2)
+	p.Clear()
+	if p.Len() != 0 {
+		t.Fatal("Clear failed")
+	}
+	r := mring.NewRelation(mring.Schema{"a"})
+	r.Add(tup(5), 3)
+	p.FromRelation(r)
+	if p.Get(tup(5)) != 3 {
+		t.Fatal("FromRelation failed")
+	}
+	n := 0
+	p.Slice(idx, tup(5), func(mring.Tuple, float64) { n++ })
+	if n != 1 {
+		t.Fatal("secondary index broken after Clear/FromRelation")
+	}
+}
+
+func TestColBatchRoundTrip(t *testing.T) {
+	b := NewColBatch(mring.Schema{"a", "f", "s"}, []mring.Kind{mring.KInt, mring.KFloat, mring.KString})
+	b.Append(mring.Tuple{mring.Int(1), mring.Float(2.5), mring.Str("x")}, 2)
+	b.Append(mring.Tuple{mring.Int(-7), mring.Float(0), mring.Str("")}, -1.5)
+	if b.Len() != 2 {
+		t.Fatal("Len wrong")
+	}
+	enc := b.Encode()
+	dec, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Schema.Equal(b.Schema) || dec.Len() != 2 {
+		t.Fatalf("decode mismatch: %v", dec.Schema)
+	}
+	for i := 0; i < 2; i++ {
+		t1, m1 := b.Row(i)
+		t2, m2 := dec.Row(i)
+		if !t1.Equal(t2) || m1 != m2 {
+			t.Fatalf("row %d mismatch: %v/%g vs %v/%g", i, t1, m1, t2, m2)
+		}
+	}
+}
+
+func TestColBatchDecodeTruncated(t *testing.T) {
+	b := NewColBatch(mring.Schema{"a"}, []mring.Kind{mring.KInt})
+	b.Append(tup(42), 1)
+	enc := b.Encode()
+	for _, cut := range []int{0, 1, len(enc) / 2, len(enc) - 1} {
+		if _, err := Decode(enc[:cut]); err == nil {
+			t.Fatalf("Decode of %d/%d bytes should fail", cut, len(enc))
+		}
+	}
+}
+
+func TestColBatchFilterInt(t *testing.T) {
+	b := NewColBatch(mring.Schema{"a", "b"}, []mring.Kind{mring.KInt, mring.KInt})
+	for i := 0; i < 10; i++ {
+		b.Append(tup(i, i*i), 1)
+	}
+	f := b.FilterInt("a", func(v int64) bool { return v >= 7 })
+	if f.Len() != 3 {
+		t.Fatalf("filter kept %d rows, want 3", f.Len())
+	}
+	tp, _ := f.Row(0)
+	if tp[0].I != 7 || tp[1].I != 49 {
+		t.Fatalf("filter row wrong: %v", tp)
+	}
+}
+
+func TestColBatchRelationConversions(t *testing.T) {
+	r := mring.NewRelation(mring.Schema{"a", "b"})
+	r.Add(tup(1, 2), 3)
+	r.Add(tup(4, 5), -1)
+	b := FromRelation(r)
+	back := b.ToRelation()
+	if !back.Equal(r) {
+		t.Fatalf("round trip: %v vs %v", back, r)
+	}
+}
+
+// Property: Encode/Decode round-trips arbitrary relations.
+func TestQuickColBatchRoundTrip(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := mring.NewRelation(mring.Schema{"a", "b"})
+		for i := 0; i < rng.Intn(50); i++ {
+			r.Add(tup(rng.Intn(100), rng.Intn(100)), float64(rng.Intn(9)-4))
+		}
+		b := FromRelation(r)
+		dec, err := Decode(b.Encode())
+		if err != nil {
+			return false
+		}
+		return dec.ToRelation().Equal(r)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeRowFormatLargerForWideRows(t *testing.T) {
+	// Columnar encoding should not be larger than row encoding for a
+	// homogeneous integer batch (shared headers amortize).
+	r := mring.NewRelation(mring.Schema{"a", "b", "c", "d"})
+	for i := 0; i < 1000; i++ {
+		r.Add(tup(i, i%10, i%5, i%2), 1)
+	}
+	colSize := len(FromRelation(r).Encode())
+	rowSize := len(EncodeRowFormat(r))
+	if colSize >= rowSize {
+		t.Fatalf("columnar %dB not smaller than row %dB", colSize, rowSize)
+	}
+}

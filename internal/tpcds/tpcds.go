@@ -1,0 +1,279 @@
+// Package tpcds provides the TPC-DS-shaped subset of the paper's workload
+// (Sec. 6, App. B.3): a store-sales star schema and the report-style
+// queries of the benchmark class the paper evaluates (fact–dimension
+// joins with static filters and small group-by domains). Queries with
+// OVER clauses are excluded, as in the paper.
+package tpcds
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/expr"
+	"repro/internal/mring"
+)
+
+// Table names.
+const (
+	StoreSales = "store_sales"
+	DateDim    = "date_dim"
+	Item       = "item"
+	CustomerD  = "customer_d"
+	Store      = "store"
+)
+
+// Schemas maps each table to its columns.
+var Schemas = map[string]mring.Schema{
+	StoreSales: {
+		"ss_sold_date_sk", "ss_item_sk", "ss_customer_sk", "ss_store_sk",
+		"ss_quantity", "ss_sales_price", "ss_ext_sales_price",
+	},
+	DateDim:   {"d_date_sk", "d_year", "d_moy", "d_dow"},
+	Item:      {"i_item_sk", "i_brand_id", "i_category_id", "i_manufact_id", "i_manager_id"},
+	CustomerD: {"cd_customer_sk", "cd_gender", "cd_dep_count"},
+	Store:     {"st_store_sk", "st_state"},
+}
+
+// StreamTables receive stream insertions; dimensions are static.
+var StreamTables = []string{StoreSales}
+
+// StaticTables are preloaded.
+var StaticTables = []string{DateDim, Item, CustomerD, Store}
+
+var cardPerScale = map[string]int{
+	StoreSales: 8000,
+	DateDim:    400,
+	Item:       300,
+	CustomerD:  200,
+	Store:      20,
+}
+
+// Cardinality returns the generated row count at scale sf (dimensions are
+// fixed).
+func Cardinality(table string, sf float64) int {
+	n := cardPerScale[table]
+	if table != StoreSales {
+		return n
+	}
+	c := int(float64(n) * sf)
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// Generator produces deterministic TPC-DS-shaped tuples.
+type Generator struct {
+	sf   float64
+	rng  *rand.Rand
+	next map[string]int64
+}
+
+// NewGenerator creates a generator at scale sf with a fixed seed.
+func NewGenerator(sf float64, seed int64) *Generator {
+	return &Generator{sf: sf, rng: rand.New(rand.NewSource(seed)), next: map[string]int64{}}
+}
+
+func (g *Generator) seq(t string) int64 {
+	g.next[t]++
+	return g.next[t]
+}
+
+// Tuple generates the next tuple for a table.
+func (g *Generator) Tuple(table string) mring.Tuple {
+	r := g.rng
+	switch table {
+	case StoreSales:
+		return mring.Tuple{
+			mring.Int(1 + int64(r.Intn(cardPerScale[DateDim]))),   // ss_sold_date_sk
+			mring.Int(1 + int64(r.Intn(cardPerScale[Item]))),      // ss_item_sk
+			mring.Int(1 + int64(r.Intn(cardPerScale[CustomerD]))), // ss_customer_sk
+			mring.Int(1 + int64(r.Intn(cardPerScale[Store]))),     // ss_store_sk
+			mring.Int(1 + int64(r.Intn(100))),                     // ss_quantity
+			mring.Float(1 + r.Float64()*300),                      // ss_sales_price
+			mring.Float(1 + r.Float64()*30000),                    // ss_ext_sales_price
+		}
+	case DateDim:
+		k := g.seq(DateDim)
+		return mring.Tuple{
+			mring.Int(k),
+			mring.Int(1998 + (k % 7)), // d_year
+			mring.Int(1 + (k % 12)),   // d_moy
+			mring.Int(k % 7),          // d_dow
+		}
+	case Item:
+		k := g.seq(Item)
+		return mring.Tuple{
+			mring.Int(k),
+			mring.Int(int64(r.Intn(50))),  // i_brand_id
+			mring.Int(int64(r.Intn(10))),  // i_category_id
+			mring.Int(int64(r.Intn(100))), // i_manufact_id
+			mring.Int(int64(r.Intn(40))),  // i_manager_id
+		}
+	case CustomerD:
+		k := g.seq(CustomerD)
+		return mring.Tuple{
+			mring.Int(k),
+			mring.Int(int64(r.Intn(2))), // cd_gender
+			mring.Int(int64(r.Intn(5))), // cd_dep_count
+		}
+	case Store:
+		k := g.seq(Store)
+		return mring.Tuple{mring.Int(k), mring.Int(int64(r.Intn(10)))}
+	}
+	panic("tpcds: unknown table " + table)
+}
+
+// Static returns the preloaded contents of a dimension table.
+func (g *Generator) Static(table string) *mring.Relation {
+	rel := mring.NewRelation(Schemas[table])
+	for i := 0; i < Cardinality(table, g.sf); i++ {
+		rel.Add(g.Tuple(table), 1)
+	}
+	return rel
+}
+
+// FactBatches yields the store_sales stream in batches of batchSize.
+func (g *Generator) FactBatches(batchSize int) func() *mring.Relation {
+	remaining := Cardinality(StoreSales, g.sf)
+	return func() *mring.Relation {
+		if remaining == 0 {
+			return nil
+		}
+		n := batchSize
+		if n > remaining {
+			n = remaining
+		}
+		remaining -= n
+		out := mring.NewRelation(Schemas[StoreSales])
+		for i := 0; i < n; i++ {
+			out.Add(g.Tuple(StoreSales), 1)
+		}
+		return out
+	}
+}
+
+// Query bundles a TPC-DS query definition.
+type Query struct {
+	Name   string
+	Def    expr.Expr
+	Tables []string
+}
+
+func ss() *expr.Rel { return expr.Base(StoreSales, Schemas[StoreSales]...) }
+func dd() *expr.Rel { return expr.Base(DateDim, Schemas[DateDim]...) }
+func it() *expr.Rel { return expr.Base(Item, Schemas[Item]...) }
+func cd() *expr.Rel { return expr.Base(CustomerD, Schemas[CustomerD]...) }
+func st() *expr.Rel { return expr.Base(Store, Schemas[Store]...) }
+
+func eqv(a, b string) expr.Expr { return expr.CmpE(expr.CEq, expr.V(a), expr.V(b)) }
+func eqi(v string, c int64) expr.Expr {
+	return expr.CmpE(expr.CEq, expr.V(v), expr.LitI(c))
+}
+
+// factDim builds the common fact ⋈ date_dim ⋈ item shape with the given
+// extra filters, group-by, and aggregate value.
+func factDim(groupBy []string, agg expr.VExpr, filters ...expr.Expr) expr.Expr {
+	factors := []expr.Expr{
+		dd(), ss(),
+		eqv("ss_sold_date_sk", "d_date_sk"),
+		it(), eqv("ss_item_sk", "i_item_sk"),
+	}
+	factors = append(factors, filters...)
+	factors = append(factors, expr.ValE(agg))
+	return expr.Sum(groupBy, expr.Join(factors...))
+}
+
+// Queries returns the TPC-DS subset (report queries of Fig. 12's class).
+func Queries() []Query {
+	return []Query{
+		{ // Q3-shape: brand revenue for one manufacturer by year.
+			Name: "DS3",
+			Def: factDim([]string{"d_year", "i_brand_id"},
+				expr.V("ss_ext_sales_price"),
+				eqi("i_manufact_id", 7), eqi("d_moy", 11)),
+			Tables: []string{StoreSales, DateDim, Item},
+		},
+		{ // Q7-shape: average quantities for one demographic slice.
+			Name: "DS7",
+			Def: expr.Sum([]string{"i_item_sk"},
+				expr.Join(
+					dd(), ss(), eqv("ss_sold_date_sk", "d_date_sk"), eqi("d_year", 2000),
+					it(), eqv("ss_item_sk", "i_item_sk"),
+					cd(), eqv("ss_customer_sk", "cd_customer_sk"), eqi("cd_gender", 1),
+					expr.ValE(expr.V("ss_quantity")))),
+			Tables: []string{StoreSales, DateDim, Item, CustomerD},
+		},
+		{ // Q19-shape: brand revenue by manager slice and month.
+			Name: "DS19",
+			Def: factDim([]string{"i_brand_id", "i_manufact_id"},
+				expr.V("ss_ext_sales_price"),
+				eqi("i_manager_id", 8), eqi("d_moy", 11), eqi("d_year", 1999)),
+			Tables: []string{StoreSales, DateDim, Item},
+		},
+		{ // Q42-shape: category revenue by year.
+			Name: "DS42",
+			Def: factDim([]string{"d_year", "i_category_id"},
+				expr.V("ss_ext_sales_price"),
+				eqi("d_moy", 11), eqi("d_year", 2000)),
+			Tables: []string{StoreSales, DateDim, Item},
+		},
+		{ // Q43-shape: store sales by day of week.
+			Name: "DS43",
+			Def: expr.Sum([]string{"st_state", "d_dow"},
+				expr.Join(
+					dd(), ss(), eqv("ss_sold_date_sk", "d_date_sk"), eqi("d_year", 2001),
+					st(), eqv("ss_store_sk", "st_store_sk"),
+					expr.ValE(expr.V("ss_sales_price")))),
+			Tables: []string{StoreSales, DateDim, Store},
+		},
+		{ // Q52-shape: brand revenue, one month/year.
+			Name: "DS52",
+			Def: factDim([]string{"d_year", "i_brand_id"},
+				expr.V("ss_ext_sales_price"),
+				eqi("d_moy", 12), eqi("d_year", 1998)),
+			Tables: []string{StoreSales, DateDim, Item},
+		},
+		{ // Q55-shape: brand revenue for one manager.
+			Name: "DS55",
+			Def: factDim([]string{"i_brand_id"},
+				expr.V("ss_ext_sales_price"),
+				eqi("i_manager_id", 3), eqi("d_moy", 11), eqi("d_year", 1999)),
+			Tables: []string{StoreSales, DateDim, Item},
+		},
+		{ // Q73-shape: frequent-buyer counts — correlated nested count per
+			// customer (the paper keeps nested TPC-DS queries too).
+			Name: "DS73",
+			Def: expr.Sum([]string{"cd_customer_sk"},
+				expr.Join(
+					cd(),
+					expr.LiftQ("ds73cnt", expr.Sum(nil, expr.Join(
+						expr.Base(StoreSales,
+							"ss_sold_date_sk2", "ss_item_sk2", "ss_customer_sk2",
+							"ss_store_sk2", "ss_quantity2", "ss_sales_price2",
+							"ss_ext_sales_price2"),
+						eqv("ss_customer_sk2", "cd_customer_sk")))),
+					expr.CmpE(expr.CGt, expr.V("ds73cnt"), expr.LitI(15)))),
+			Tables: []string{StoreSales, CustomerD},
+		},
+	}
+}
+
+// QueryByName returns the named query.
+func QueryByName(name string) (Query, error) {
+	for _, q := range Queries() {
+		if q.Name == name {
+			return q, nil
+		}
+	}
+	return Query{}, fmt.Errorf("tpcds: unknown query %q", name)
+}
+
+// BaseSchemas returns the base schema map for a query.
+func (q Query) BaseSchemas() map[string]mring.Schema {
+	out := map[string]mring.Schema{}
+	for _, t := range q.Tables {
+		out[t] = Schemas[t]
+	}
+	return out
+}

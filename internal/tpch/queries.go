@@ -1,0 +1,359 @@
+package tpch
+
+import (
+	"fmt"
+
+	"repro/internal/expr"
+	"repro/internal/mring"
+)
+
+// Query bundles one benchmark query: its algebra definition and the base
+// relations it references. The queries are the streaming-modified TPC-H
+// queries of the paper's workload (Sec. 6): no ordering or limits, one
+// maintained aggregate per view, nested aggregates kept.
+type Query struct {
+	Name   string
+	Def    expr.Expr
+	Tables []string
+	// Nested marks queries with nested aggregates / existential
+	// quantification (the domain-extraction class).
+	Nested bool
+}
+
+// li/or/cu/pa/su/ps/na build relation terms with their full schemas.
+func li() *expr.Rel { return expr.Base(Lineitem, Schemas[Lineitem]...) }
+func or() *expr.Rel { return expr.Base(Orders, Schemas[Orders]...) }
+func cu() *expr.Rel { return expr.Base(Customer, Schemas[Customer]...) }
+func pa() *expr.Rel { return expr.Base(Part, Schemas[Part]...) }
+func su() *expr.Rel { return expr.Base(Supplier, Schemas[Supplier]...) }
+func ps() *expr.Rel { return expr.Base(Partsupp, Schemas[Partsupp]...) }
+func na(alias string) *expr.Rel {
+	if alias == "" {
+		return expr.Base(Nation, Schemas[Nation]...)
+	}
+	cols := make(mring.Schema, len(Schemas[Nation]))
+	for i, c := range Schemas[Nation] {
+		cols[i] = c + alias
+	}
+	return expr.Base(Nation, cols...)
+}
+
+// renamed returns a second reference to a table with suffixed column
+// names (for self-joins and correlated nested subqueries).
+func renamed(table, suffix string) *expr.Rel {
+	cols := make(mring.Schema, len(Schemas[table]))
+	for i, c := range Schemas[table] {
+		cols[i] = c + suffix
+	}
+	return expr.Base(table, cols...)
+}
+
+func lt(v string, c int64) expr.Expr  { return expr.CmpE(expr.CLt, expr.V(v), expr.LitI(c)) }
+func ge(v string, c int64) expr.Expr  { return expr.CmpE(expr.CGe, expr.V(v), expr.LitI(c)) }
+func gt(v string, c int64) expr.Expr  { return expr.CmpE(expr.CGt, expr.V(v), expr.LitI(c)) }
+func le(v string, c int64) expr.Expr  { return expr.CmpE(expr.CLe, expr.V(v), expr.LitI(c)) }
+func eqi(v string, c int64) expr.Expr { return expr.CmpE(expr.CEq, expr.V(v), expr.LitI(c)) }
+func eqv(a, b string) expr.Expr       { return expr.CmpE(expr.CEq, expr.V(a), expr.V(b)) }
+
+// revenue is l_extendedprice * (1 - l_discount).
+func revenue() expr.Expr {
+	return expr.ValE(expr.MulV(expr.V("l_extendedprice"),
+		expr.SubV(expr.LitF(1), expr.V("l_discount"))))
+}
+
+// Queries returns the benchmark query suite, keyed by name.
+func Queries() []Query {
+	qs := []Query{
+		{ // Q1: pricing summary — tiny group domain, heavy pre-aggregation win.
+			Name: "Q1",
+			Def: expr.Sum([]string{"l_returnflag", "l_linestatus"},
+				expr.Join(li(), le("l_shipdate", 19980902),
+					expr.ValE(expr.V("l_quantity")))),
+			Tables: []string{Lineitem},
+		},
+		{ // Q2: minimum cost supplier — join through part/supplier/nation
+			// with a correlated nested minimum approximated as "no cheaper
+			// offer exists" (anti-join via a nested count).
+			Name: "Q2",
+			Def: expr.Sum([]string{"s_suppkey", "p_partkey"},
+				expr.Join(
+					pa(), eqi("p_size", 15),
+					ps(), eqv("ps_partkey", "p_partkey"),
+					su(), eqv("s_suppkey", "ps_suppkey"),
+					na(""), eqv("n_nationkey", "s_nationkey"),
+					expr.LiftQ("q2cheaper", expr.Sum(nil, expr.Join(
+						renamed(Partsupp, "2"),
+						eqv("ps_partkey2", "p_partkey"),
+						expr.CmpE(expr.CLt, expr.V("ps_supplycost2"), expr.V("ps_supplycost"))))),
+					eqi("q2cheaper", 0))),
+			Tables: []string{Part, Partsupp, Supplier, Nation},
+			Nested: true,
+		},
+		{ // Q3: shipping priority — 3-way join with date filters.
+			Name: "Q3",
+			Def: expr.Sum([]string{"o_orderkey", "o_orderdate", "o_shippriority"},
+				expr.Join(
+					cu(), eqi("c_mktsegment", SegBuilding),
+					or(), eqv("o_custkey", "c_custkey"), lt("o_orderdate", DateMid),
+					li(), eqv("l_orderkey", "o_orderkey"), gt("l_shipdate", DateMid),
+					revenue())),
+			Tables: []string{Customer, Orders, Lineitem},
+		},
+		{ // Q4: order priority check — correlated EXISTS.
+			Name: "Q4",
+			Def: expr.Sum([]string{"o_orderpriority"},
+				expr.Join(
+					or(), ge("o_orderdate", 19930701), lt("o_orderdate", 19931001),
+					expr.LiftQ("q4x", expr.Sum(nil, expr.Join(
+						renamed(Lineitem, "2"),
+						eqv("l_orderkey2", "o_orderkey"),
+						expr.CmpE(expr.CLt, expr.V("l_commitdate2"), expr.V("l_receiptdate2"))))),
+					expr.CmpE(expr.CNe, expr.V("q4x"), expr.LitI(0)))),
+			Tables: []string{Orders, Lineitem},
+			Nested: true,
+		},
+		{ // Q5: local supplier volume — 6-way join through nation/region.
+			Name: "Q5",
+			Def: expr.Sum([]string{"n_name"},
+				expr.Join(
+					cu(), or(), eqv("o_custkey", "c_custkey"),
+					ge("o_orderdate", 19940101), lt("o_orderdate", 19950101),
+					li(), eqv("l_orderkey", "o_orderkey"),
+					su(), eqv("l_suppkey", "s_suppkey"), eqv("s_nationkey", "c_nationkey"),
+					na(""), eqv("n_nationkey", "s_nationkey"),
+					expr.Base(Region, "r_regionkey", "r_name"),
+					eqv("r_regionkey", "n_regionkey"), eqi("r_name", 2),
+					revenue())),
+			Tables: []string{Customer, Orders, Lineitem, Supplier, Nation, Region},
+		},
+		{ // Q6: forecasting revenue change — single scalar aggregate.
+			Name: "Q6",
+			Def: expr.Sum(nil,
+				expr.Join(li(),
+					ge("l_shipdate", DateShipLo), lt("l_shipdate", DateShipHi),
+					expr.CmpE(expr.CGe, expr.V("l_discount"), expr.LitF(0.05)),
+					expr.CmpE(expr.CLe, expr.V("l_discount"), expr.LitF(0.07)),
+					expr.CmpE(expr.CLt, expr.V("l_quantity"), expr.LitF(24)),
+					expr.ValE(expr.MulV(expr.V("l_extendedprice"), expr.V("l_discount"))))),
+			Tables: []string{Lineitem},
+		},
+		{ // Q7: volume shipping — nation pair join with computed ship year.
+			Name: "Q7",
+			Def: expr.Sum([]string{"n_names", "n_namec", "l_shipyear"},
+				expr.Join(
+					su(), li(), eqv("l_suppkey", "s_suppkey"),
+					ge("l_shipdate", 19950101), le("l_shipdate", 19961231),
+					or(), eqv("o_orderkey", "l_orderkey"),
+					cu(), eqv("c_custkey", "o_custkey"),
+					na("s"), eqv("n_nationkeys", "s_nationkey"), le("n_nationkeys", 1),
+					na("c"), eqv("n_nationkeyc", "c_nationkey"), le("n_nationkeyc", 1),
+					expr.LiftV("l_shipyear", expr.FloorDivV(expr.V("l_shipdate"), expr.LitI(10000))),
+					revenue())),
+			Tables: []string{Supplier, Lineitem, Orders, Customer, Nation},
+		},
+		{ // Q8: national market share numerator — 7-relation join with a
+			// computed order year.
+			Name: "Q8",
+			Def: expr.Sum([]string{"o_orderyear"},
+				expr.Join(
+					pa(), eqi("p_type", 5),
+					li(), eqv("l_partkey", "p_partkey"),
+					su(), eqv("s_suppkey", "l_suppkey"),
+					or(), eqv("o_orderkey", "l_orderkey"),
+					ge("o_orderdate", 19950101), le("o_orderdate", 19961231),
+					cu(), eqv("c_custkey", "o_custkey"),
+					na("c"), eqv("n_nationkeyc", "c_nationkey"),
+					expr.Base(Region, "r_regionkey", "r_name"),
+					eqv("r_regionkey", "n_regionkeyc"), eqi("r_name", 1),
+					na("s"), eqv("n_nationkeys", "s_nationkey"), eqi("n_nationkeys", 8),
+					expr.LiftV("o_orderyear", expr.FloorDivV(expr.V("o_orderdate"), expr.LitI(10000))),
+					revenue())),
+			Tables: []string{Part, Lineitem, Supplier, Orders, Customer, Nation, Region},
+		},
+		{ // Q9: product type profit measure — 5-way join.
+			Name: "Q9",
+			Def: expr.Sum([]string{"n_name"},
+				expr.Join(
+					pa(), eqi("p_type", 3),
+					li(), eqv("l_partkey", "p_partkey"),
+					su(), eqv("l_suppkey", "s_suppkey"),
+					ps(), eqv("ps_partkey", "l_partkey"), eqv("ps_suppkey", "l_suppkey"),
+					or(), eqv("o_orderkey", "l_orderkey"),
+					na(""), eqv("n_nationkey", "s_nationkey"),
+					expr.ValE(expr.SubV(
+						expr.MulV(expr.V("l_extendedprice"), expr.SubV(expr.LitF(1), expr.V("l_discount"))),
+						expr.MulV(expr.V("ps_supplycost"), expr.V("l_quantity")))))),
+			Tables: []string{Part, Lineitem, Supplier, Partsupp, Orders, Nation},
+		},
+		{ // Q10: returned item reporting.
+			Name: "Q10",
+			Def: expr.Sum([]string{"c_custkey", "c_nationkey"},
+				expr.Join(
+					cu(), or(), eqv("o_custkey", "c_custkey"),
+					ge("o_orderdate", 19931001), lt("o_orderdate", 19940101),
+					li(), eqv("l_orderkey", "o_orderkey"), eqi("l_returnflag", 2),
+					revenue())),
+			Tables: []string{Customer, Orders, Lineitem},
+		},
+		{ // Q11: important stock — uncorrelated inequality nesting:
+			// re-evaluation beats incremental maintenance (Sec. 6.1.1).
+			Name: "Q11",
+			Def: expr.Sum([]string{"ps_partkey"},
+				expr.Join(
+					ps(), su(), eqv("ps_suppkey", "s_suppkey"), eqi("s_nationkey", 7),
+					expr.LiftQ("q11grp", expr.Sum(nil, expr.Join(
+						renamed(Partsupp, "2"), renamed(Supplier, "2"),
+						eqv("ps_suppkey2", "s_suppkey2"), eqi("s_nationkey2", 7),
+						eqv("ps_partkey2", "ps_partkey"),
+						expr.ValE(expr.MulV(expr.V("ps_supplycost2"), expr.V("ps_availqty2")))))),
+					expr.LiftQ("q11tot", expr.Sum(nil, expr.Join(
+						renamed(Partsupp, "3"), renamed(Supplier, "3"),
+						eqv("ps_suppkey3", "s_suppkey3"), eqi("s_nationkey3", 7),
+						expr.ValE(expr.MulV(expr.V("ps_supplycost3"), expr.V("ps_availqty3")))))),
+					expr.CmpE(expr.CGt, expr.V("q11grp"),
+						expr.MulV(expr.LitF(0.001), expr.V("q11tot"))))),
+			Tables: []string{Partsupp, Supplier},
+			Nested: true,
+		},
+		{ // Q12: shipping modes — two-way join, disjunctive mode filter.
+			Name: "Q12",
+			Def: expr.Sum([]string{"l_shipmode", "o_orderpriority"},
+				expr.Join(
+					or(), li(), eqv("l_orderkey", "o_orderkey"),
+					expr.Add(eqi("l_shipmode", 1), eqi("l_shipmode", 4)),
+					expr.CmpE(expr.CLt, expr.V("l_commitdate"), expr.V("l_receiptdate")),
+					ge("l_receiptdate", 19940101), lt("l_receiptdate", 19950101))),
+			Tables: []string{Orders, Lineitem},
+		},
+		{ // Q13: customer distribution — group by a lifted nested count.
+			Name: "Q13",
+			Def: expr.Sum([]string{"q13cnt"},
+				expr.Join(cu(),
+					expr.LiftQ("q13cnt", expr.Sum(nil, expr.Join(
+						renamed(Orders, "2"), eqv("o_custkey2", "c_custkey")))))),
+			Tables: []string{Customer, Orders},
+			Nested: true,
+		},
+		{ // Q14: promotion effect.
+			Name: "Q14",
+			Def: expr.Sum(nil,
+				expr.Join(
+					li(), ge("l_shipdate", 19950901), lt("l_shipdate", 19951001),
+					pa(), eqv("p_partkey", "l_partkey"), le("p_type", 2),
+					revenue())),
+			Tables: []string{Lineitem, Part},
+		},
+		{ // Q16: parts/supplier relationship — COUNT(DISTINCT) via Exists.
+			Name: "Q16",
+			Def: expr.Sum([]string{"p_brand", "p_size"},
+				expr.ExistsE(expr.Sum([]string{"p_brand", "p_size", "ps_suppkey"},
+					expr.Join(
+						pa(), gt("p_size", 20),
+						expr.CmpE(expr.CNe, expr.V("p_brand"), expr.LitI(5)),
+						ps(), eqv("ps_partkey", "p_partkey"))))),
+			Tables: []string{Part, Partsupp},
+			Nested: true,
+		},
+		{ // Q17: small-quantity-order revenue — the paper's flagship
+			// correlated nested aggregate (domain extraction, Fig. 8/9b/10b).
+			Name: "Q17",
+			Def: expr.Sum(nil,
+				expr.Join(
+					pa(), eqi("p_brand", 3), eqi("p_container", 2),
+					li(), eqv("l_partkey", "p_partkey"),
+					expr.LiftQ("q17sum", expr.Sum(nil, expr.Join(
+						renamed(Lineitem, "2"), eqv("l_partkey2", "l_partkey"),
+						expr.ValE(expr.V("l_quantity2"))))),
+					expr.LiftQ("q17cnt", expr.Sum(nil, expr.Join(
+						renamed(Lineitem, "3"), eqv("l_partkey3", "l_partkey")))),
+					expr.CmpE(expr.CLt, expr.V("l_quantity"),
+						expr.MulV(expr.LitF(0.2), expr.DivV(expr.V("q17sum"), expr.V("q17cnt")))),
+					expr.ValE(expr.V("l_extendedprice")))),
+			Tables: []string{Part, Lineitem},
+			Nested: true,
+		},
+		{ // Q18: large volume customers — correlated HAVING-style nesting.
+			Name: "Q18",
+			Def: expr.Sum([]string{"c_custkey", "o_orderkey", "o_orderdate"},
+				expr.Join(
+					cu(), or(), eqv("o_custkey", "c_custkey"),
+					li(), eqv("l_orderkey", "o_orderkey"),
+					expr.LiftQ("q18qty", expr.Sum(nil, expr.Join(
+						renamed(Lineitem, "2"), eqv("l_orderkey2", "o_orderkey"),
+						expr.ValE(expr.V("l_quantity2"))))),
+					expr.CmpE(expr.CGt, expr.V("q18qty"), expr.LitF(300)),
+					expr.ValE(expr.V("l_quantity")))),
+			Tables: []string{Customer, Orders, Lineitem},
+			Nested: true,
+		},
+		{ // Q19: discounted revenue — disjunction of three conjunctive branches.
+			Name: "Q19",
+			Def: expr.Sum(nil,
+				expr.Join(
+					li(), pa(), eqv("p_partkey", "l_partkey"),
+					expr.Add(
+						expr.Join(eqi("p_brand", 1), lt("p_size", 6),
+							expr.CmpE(expr.CLe, expr.V("l_quantity"), expr.LitF(11))),
+						expr.Join(eqi("p_brand", 2), lt("p_size", 11),
+							expr.CmpE(expr.CLe, expr.V("l_quantity"), expr.LitF(20))),
+						expr.Join(eqi("p_brand", 3), lt("p_size", 16),
+							expr.CmpE(expr.CLe, expr.V("l_quantity"), expr.LitF(30)))),
+					revenue())),
+			Tables: []string{Lineitem, Part},
+		},
+		{ // Q20: potential part promotion — nested per (partkey, suppkey),
+			// large pre-aggregation win (the paper reports 2,243x).
+			Name: "Q20",
+			Def: expr.Sum([]string{"s_suppkey"},
+				expr.Join(
+					su(), eqi("s_nationkey", 3),
+					ps(), eqv("ps_suppkey", "s_suppkey"),
+					expr.LiftQ("q20qty", expr.Sum(nil, expr.Join(
+						renamed(Lineitem, "2"),
+						eqv("l_partkey2", "ps_partkey"), eqv("l_suppkey2", "ps_suppkey"),
+						ge("l_shipdate2", 19940101), lt("l_shipdate2", 19950101),
+						expr.ValE(expr.V("l_quantity2"))))),
+					expr.CmpE(expr.CGt, expr.V("ps_availqty"),
+						expr.MulV(expr.LitF(0.5), expr.V("q20qty"))))),
+			Tables: []string{Supplier, Partsupp, Lineitem},
+			Nested: true,
+		},
+		{ // Q22: global sales opportunity — customers above the average
+			// balance with no orders; the paper reports 4,319x from
+			// pre-aggregating the ORDERS batch on custkey.
+			Name: "Q22",
+			Def: expr.Sum([]string{"c_phone"},
+				expr.Join(
+					cu(), ge("c_phone", 13), le("c_phone", 31),
+					expr.CmpE(expr.CGt, expr.V("c_acctbal"), expr.LitF(5000)),
+					expr.LiftQ("q22ord", expr.Sum(nil, expr.Join(
+						renamed(Orders, "2"), eqv("o_custkey2", "c_custkey")))),
+					eqi("q22ord", 0),
+					expr.ValE(expr.V("c_acctbal")))),
+			Tables: []string{Customer, Orders},
+			Nested: true,
+		},
+	}
+	return qs
+}
+
+// QueryByName returns the named query.
+func QueryByName(name string) (Query, error) {
+	for _, q := range Queries() {
+		if q.Name == name {
+			return q, nil
+		}
+	}
+	return Query{}, fmt.Errorf("tpch: unknown query %q", name)
+}
+
+// BaseSchemas returns the base-relation schema map for a query, with the
+// schemas a compiler needs (references use per-query column aliases, but
+// bases are declared once under their canonical schemas).
+func (q Query) BaseSchemas() map[string]mring.Schema {
+	out := map[string]mring.Schema{}
+	for _, t := range q.Tables {
+		out[t] = Schemas[t]
+	}
+	return out
+}

@@ -1,0 +1,145 @@
+// Package tpch provides the TPC-H-shaped workload of the paper's
+// evaluation (Sec. 6): a deterministic synthetic data generator with the
+// TPC-H schema and key distributions, round-robin insert streams, and the
+// streaming-modified queries expressed in the query algebra.
+//
+// DESIGN.md §3 records the substitution: the paper used dbgen-generated
+// 10GB/500GB streams; this generator preserves schema, key relationships,
+// and selectivities at laptop scale.
+package tpch
+
+import (
+	"repro/internal/mring"
+)
+
+// Table names.
+const (
+	Lineitem = "lineitem"
+	Orders   = "orders"
+	Customer = "customer"
+	Part     = "part"
+	Supplier = "supplier"
+	Partsupp = "partsupp"
+	Nation   = "nation"
+	Region   = "region"
+)
+
+// Schemas maps each base table to its column names. Columns carry the
+// standard TPC-H prefixes, trimmed to what the query workload touches.
+var Schemas = map[string]mring.Schema{
+	Lineitem: {
+		"l_orderkey", "l_partkey", "l_suppkey", "l_quantity",
+		"l_extendedprice", "l_discount", "l_shipdate", "l_commitdate",
+		"l_receiptdate", "l_returnflag", "l_linestatus", "l_shipmode",
+	},
+	Orders: {
+		"o_orderkey", "o_custkey", "o_orderdate", "o_orderpriority",
+		"o_shippriority", "o_totalprice",
+	},
+	Customer: {
+		"c_custkey", "c_mktsegment", "c_nationkey", "c_acctbal", "c_phone",
+	},
+	Part: {
+		"p_partkey", "p_brand", "p_type", "p_size", "p_container",
+	},
+	Supplier: {
+		"s_suppkey", "s_nationkey", "s_acctbal",
+	},
+	Partsupp: {
+		"ps_partkey", "ps_suppkey", "ps_availqty", "ps_supplycost",
+	},
+	Nation: {
+		"n_nationkey", "n_regionkey", "n_name",
+	},
+	Region: {
+		"r_regionkey", "r_name",
+	},
+}
+
+// Kinds maps each table to its column value kinds, aligned with Schemas.
+var Kinds = map[string][]mring.Kind{
+	Lineitem: {
+		mring.KInt, mring.KInt, mring.KInt, mring.KFloat,
+		mring.KFloat, mring.KFloat, mring.KInt, mring.KInt,
+		mring.KInt, mring.KInt, mring.KInt, mring.KInt,
+	},
+	Orders:   {mring.KInt, mring.KInt, mring.KInt, mring.KInt, mring.KInt, mring.KFloat},
+	Customer: {mring.KInt, mring.KInt, mring.KInt, mring.KFloat, mring.KInt},
+	Part:     {mring.KInt, mring.KInt, mring.KInt, mring.KInt, mring.KInt},
+	Supplier: {mring.KInt, mring.KInt, mring.KFloat},
+	Partsupp: {mring.KInt, mring.KInt, mring.KInt, mring.KFloat},
+	Nation:   {mring.KInt, mring.KInt, mring.KInt},
+	Region:   {mring.KInt, mring.KInt},
+}
+
+// StreamTables is the set of tables that receive stream insertions; the
+// small dimension tables (nation, region) are static and preloaded.
+var StreamTables = []string{Lineitem, Orders, Customer, Part, Supplier, Partsupp}
+
+// Relative cardinalities per TPC-H scale unit (rows per unit of scale).
+// TPC-H's real ratios are preserved: 6000 lineitems per 1500 orders per
+// 150 customers, 200 parts, 800 partsupps, 10 suppliers.
+var cardPerScale = map[string]int{
+	Lineitem: 6000,
+	Orders:   1500,
+	Customer: 150,
+	Part:     200,
+	Supplier: 10,
+	Partsupp: 800,
+	Nation:   25,
+	Region:   5,
+}
+
+// Cardinality returns the generated row count of a table at scale sf
+// (sf=1.0 is the micro-scale unit above; dimension tables stay fixed).
+func Cardinality(table string, sf float64) int {
+	n := cardPerScale[table]
+	switch table {
+	case Nation, Region:
+		return n
+	}
+	c := int(float64(n) * sf)
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// PrimaryKeyRanks ranks the partitionable key columns by table
+// cardinality, feeding the partitioning heuristic of Sec. 6.2 (partition
+// on the primary key of the largest base table in the view schema).
+var PrimaryKeyRanks = map[string]int{
+	"l_orderkey":  6, // lineitem / orders join key — highest cardinality
+	"o_orderkey":  6,
+	"ps_partkey":  4,
+	"p_partkey":   4,
+	"l_partkey":   4,
+	"o_custkey":   3,
+	"c_custkey":   3,
+	"l_suppkey":   2,
+	"s_suppkey":   2,
+	"ps_suppkey":  2,
+	"n_nationkey": 1,
+}
+
+// Date constants (yyyymmdd integers; comparisons order correctly).
+const (
+	DateLo     = 19920101
+	DateHi     = 19981231
+	DateMid    = 19950315 // the cut used by Q3-style predicates
+	DateShipLo = 19940101
+	DateShipHi = 19950101
+)
+
+// Market segments, priorities, etc. are small integer domains.
+const (
+	SegBuilding  = 1
+	NumSegments  = 5
+	NumBrands    = 25
+	NumTypes     = 15
+	NumContainer = 8
+	NumShipmodes = 7
+	NumPriority  = 5
+	NumNations   = 25
+	NumRegions   = 5
+)

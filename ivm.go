@@ -1,0 +1,266 @@
+// Package ivm is the public API of this repository: distributed
+// incremental view maintenance with batch updates, reproducing Nikolic,
+// Dashti, and Koch, "How to Win a Hot Dog Eating Contest" (SIGMOD 2016).
+//
+// The library compiles queries over generalized multiset relations into
+// recursively incremental maintenance programs (DBToaster-style), with
+// batched delta processing, domain extraction for nested aggregates, and
+// a compiler that turns local trigger programs into distributed programs
+// for a synchronous driver/worker platform.
+//
+// Quick start:
+//
+//	q := ivm.Sum([]string{"b"}, ivm.Join(
+//	        ivm.Table("R", "a", "b"), ivm.Table("S", "b", "c")))
+//	eng, err := ivm.NewEngine("Q", q, map[string]ivm.Schema{
+//	        "R": {"a", "b"}, "S": {"b", "c"},
+//	})
+//	batch := ivm.NewBatch(ivm.Schema{"a", "b"})
+//	batch.Insert(ivm.Row(1, 10))
+//	eng.ApplyBatch("R", batch)
+//	result := eng.Result() // always fresh
+package ivm
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/compile"
+	"repro/internal/dist"
+	"repro/internal/expr"
+	"repro/internal/mring"
+)
+
+// Re-exported core types.
+type (
+	// Expr is a query expression over generalized multiset relations.
+	Expr = expr.Expr
+	// VExpr is an interpreted value expression over bound variables.
+	VExpr = expr.VExpr
+	// Schema is an ordered list of column names.
+	Schema = mring.Schema
+	// Tuple is one row of column values.
+	Tuple = mring.Tuple
+	// Value is one typed column value.
+	Value = mring.Value
+	// Options control compilation (domain extraction, batch
+	// pre-aggregation, re-evaluation policy).
+	Options = compile.Options
+	// Program is a compiled recursive maintenance program.
+	Program = compile.Program
+)
+
+// Query construction (the algebra of Sec. 3.1).
+var (
+	// Table references a base table binding its columns to variables.
+	Table = expr.Base
+	// Join is the natural join of its operands (variables flow left to
+	// right).
+	Join = expr.Join
+	// Union is bag union.
+	Union = expr.Add
+	// Sum is the multiplicity-preserving projection Sum_[groupBy].
+	Sum = expr.Sum
+	// Lift is variable assignment var := Q (nested aggregates).
+	Lift = expr.LiftQ
+	// LetV binds a variable to a computed value.
+	LetV = expr.LiftV
+	// Exists normalizes non-zero multiplicities to 1 (DISTINCT).
+	Exists = expr.ExistsE
+	// Cond builds a comparison predicate term.
+	Cond = expr.CmpE
+	// Val embeds a computed value as the tuple's aggregate contribution.
+	Val = expr.ValE
+	// Col references a bound column variable inside value expressions.
+	Col = expr.V
+	// ConstI, ConstF, ConstS build literals.
+	ConstI = expr.LitI
+	ConstF = expr.LitF
+	ConstS = expr.LitS
+	// Arithmetic over value expressions.
+	Add2 = expr.AddV
+	Sub  = expr.SubV
+	Mul2 = expr.MulV
+	Div  = expr.DivV
+)
+
+// Comparison operators.
+const (
+	Eq = expr.CEq
+	Ne = expr.CNe
+	Lt = expr.CLt
+	Le = expr.CLe
+	Gt = expr.CGt
+	Ge = expr.CGe
+)
+
+// Int, Float, and Str build typed values.
+var (
+	Int   = mring.Int
+	Float = mring.Float
+	Str   = mring.Str
+)
+
+// Row builds a tuple from ints, floats, and strings.
+func Row(vs ...any) Tuple {
+	t := make(Tuple, len(vs))
+	for i, v := range vs {
+		switch x := v.(type) {
+		case int:
+			t[i] = mring.Int(int64(x))
+		case int64:
+			t[i] = mring.Int(x)
+		case float64:
+			t[i] = mring.Float(x)
+		case string:
+			t[i] = mring.Str(x)
+		default:
+			panic("ivm: Row accepts int, int64, float64, string")
+		}
+	}
+	return t
+}
+
+// Batch is an update batch: inserted and deleted tuples for one base
+// table (deletions carry negative multiplicities).
+type Batch struct{ rel *mring.Relation }
+
+// NewBatch creates an empty batch with the given schema.
+func NewBatch(schema Schema) *Batch {
+	return &Batch{rel: mring.NewRelation(schema)}
+}
+
+// Insert adds one insertion.
+func (b *Batch) Insert(t Tuple) { b.rel.Add(t, 1) }
+
+// Delete adds one deletion.
+func (b *Batch) Delete(t Tuple) { b.rel.Add(t, -1) }
+
+// Change adds a tuple with an explicit multiplicity delta.
+func (b *Batch) Change(t Tuple, delta float64) { b.rel.Add(t, delta) }
+
+// Len returns the number of distinct changed tuples.
+func (b *Batch) Len() int { return b.rel.Len() }
+
+// Engine maintains one query incrementally on a single node.
+type Engine struct {
+	prog *compile.Program
+	ex   *compile.Executor
+}
+
+// NewEngine compiles the query with the paper's default options
+// (domain extraction, batch pre-aggregation, re-evaluation for
+// uncorrelated nesting) and returns an engine over empty tables.
+func NewEngine(name string, query Expr, bases map[string]Schema) (*Engine, error) {
+	return NewEngineWithOptions(name, query, bases, compile.DefaultOptions())
+}
+
+// NewEngineWithOptions compiles with explicit options.
+func NewEngineWithOptions(name string, query Expr, bases map[string]Schema, opts Options) (*Engine, error) {
+	prog, err := compile.Compile(name, query, bases, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{prog: prog, ex: compile.NewExecutor(prog)}, nil
+}
+
+// Program returns the compiled maintenance program (its String method
+// renders the view hierarchy and triggers).
+func (e *Engine) Program() *Program { return e.prog }
+
+// SetSingleTuple switches to tuple-at-a-time processing (the comparison
+// mode of Sec. 3.3).
+func (e *Engine) SetSingleTuple(on bool) { e.ex.SingleTuple = on }
+
+// ApplyBatch folds one update batch into all maintained views.
+func (e *Engine) ApplyBatch(table string, b *Batch) {
+	e.ex.ApplyBatch(table, b.rel)
+}
+
+// LoadTable initializes a base table before streaming (static
+// dimensions); call before any ApplyBatch.
+func (e *Engine) LoadTable(tables map[string]*Batch) {
+	init := map[string]*mring.Relation{}
+	for n, s := range e.prog.Bases {
+		if b, ok := tables[n]; ok {
+			init[n] = b.rel
+		} else {
+			init[n] = mring.NewRelation(s)
+		}
+	}
+	e.ex.InitFromBases(init)
+}
+
+// Result returns the maintained query result. Iterate with Foreach.
+func (e *Engine) Result() *Result { return &Result{rel: e.ex.Result()} }
+
+// Result is a read view over maintained contents.
+type Result struct{ rel *mring.Relation }
+
+// Foreach visits every result tuple with its aggregate value.
+func (r *Result) Foreach(f func(t Tuple, agg float64)) { r.rel.ForeachSorted(f) }
+
+// Get returns the aggregate value for one group.
+func (r *Result) Get(t Tuple) float64 { return r.rel.Get(t) }
+
+// Len returns the number of result groups.
+func (r *Result) Len() int { return r.rel.Len() }
+
+// String renders the result deterministically.
+func (r *Result) String() string { return r.rel.String() }
+
+// DistributedEngine runs the same program on the simulated synchronous
+// cluster (Sec. 4): views are partitioned by the paper's heuristic and
+// batches are processed through compiled distributed trigger programs.
+type DistributedEngine struct {
+	prog   *compile.Program
+	parts  dist.PartInfo
+	dprogs map[string]*dist.DistProgram
+	cl     *cluster.Cluster
+	name   string
+	// Metrics accumulates virtual platform costs across batches.
+	Metrics cluster.Metrics
+}
+
+// NewDistributedEngine compiles and deploys the query across the given
+// number of simulated workers. keyRanks ranks partition-key columns by
+// table cardinality (see tpch.PrimaryKeyRanks for the benchmark's).
+func NewDistributedEngine(name string, query Expr, bases map[string]Schema, workers int, keyRanks map[string]int) (*DistributedEngine, error) {
+	prog, err := compile.Compile(name, query, bases, compile.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	parts := dist.ChoosePartitioning(prog, keyRanks)
+	dprogs := dist.CompileProgram(prog, parts, dist.O3)
+	cl := cluster.New(cluster.DefaultConfig(workers), dist.ViewSchemas(prog), parts)
+	return &DistributedEngine{prog: prog, parts: parts, dprogs: dprogs, cl: cl, name: name}, nil
+}
+
+// ApplyBatch spreads the batch over the workers and runs the distributed
+// trigger; the returned metrics describe this batch's virtual cost.
+func (e *DistributedEngine) ApplyBatch(table string, b *Batch) (cluster.Metrics, error) {
+	workers := e.cl.Workers()
+	frags := make([]*mring.Relation, workers)
+	for i := range frags {
+		frags[i] = mring.NewRelation(b.rel.Schema())
+	}
+	i := 0
+	b.rel.Foreach(func(t Tuple, m float64) {
+		frags[i%workers].Add(t, m)
+		i++
+	})
+	m, err := e.cl.RunPartitioned(e.dprogs[table], frags)
+	if err != nil {
+		return m, err
+	}
+	e.Metrics.Add(m)
+	return m, nil
+}
+
+// Result merges the distributed view fragments into the full result.
+func (e *DistributedEngine) Result() *Result {
+	return &Result{rel: e.cl.ViewContents(e.name)}
+}
+
+// TriggerProgram renders the distributed program for one base table.
+func (e *DistributedEngine) TriggerProgram(table string) string {
+	return e.dprogs[table].String()
+}

@@ -1,0 +1,153 @@
+package ivm
+
+import (
+	"testing"
+
+	"repro/internal/tpch"
+)
+
+func TestEngineQuickstart(t *testing.T) {
+	q := Sum([]string{"b"}, Join(Table("R", "a", "b"), Table("S", "b", "c")))
+	eng, err := NewEngine("Q", q, map[string]Schema{"R": {"a", "b"}, "S": {"b", "c"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	br := NewBatch(Schema{"a", "b"})
+	br.Insert(Row(1, 10))
+	br.Insert(Row(2, 10))
+	eng.ApplyBatch("R", br)
+	bs := NewBatch(Schema{"b", "c"})
+	bs.Insert(Row(10, 7))
+	eng.ApplyBatch("S", bs)
+	if got := eng.Result().Get(Row(10)); got != 2 {
+		t.Fatalf("result = %g, want 2", got)
+	}
+	// Deletion retracts.
+	del := NewBatch(Schema{"a", "b"})
+	del.Delete(Row(1, 10))
+	eng.ApplyBatch("R", del)
+	if got := eng.Result().Get(Row(10)); got != 1 {
+		t.Fatalf("after delete = %g, want 1", got)
+	}
+}
+
+func TestEngineNestedAndOptions(t *testing.T) {
+	inner := Sum(nil, Join(Table("S", "b2", "c"), Cond(Eq, Col("b"), Col("b2"))))
+	q := Sum(nil, Join(
+		Table("R", "a", "b"),
+		Lift("x", inner),
+		Cond(Lt, Col("a"), Col("x"))))
+	eng, err := NewEngineWithOptions("QN", q,
+		map[string]Schema{"R": {"a", "b"}, "S": {"b2", "c"}},
+		Options{DomainExtraction: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	br := NewBatch(Schema{"a", "b"})
+	br.Insert(Row(0, 5))
+	eng.ApplyBatch("R", br)
+	bs := NewBatch(Schema{"b2", "c"})
+	bs.Insert(Row(5, 1))
+	eng.ApplyBatch("S", bs)
+	if got := eng.Result().Get(Row()); got != 1 {
+		t.Fatalf("nested result = %g, want 1", got)
+	}
+	if eng.Program().String() == "" {
+		t.Fatal("program rendering empty")
+	}
+}
+
+func TestEngineLoadTable(t *testing.T) {
+	q := Sum(nil, Join(Table("R", "a"), Val(Col("a"))))
+	eng, err := NewEngine("QL", q, map[string]Schema{"R": {"a"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	init := NewBatch(Schema{"a"})
+	init.Insert(Row(4))
+	eng.LoadTable(map[string]*Batch{"R": init})
+	if got := eng.Result().Get(Row()); got != 4 {
+		t.Fatalf("warm start = %g, want 4", got)
+	}
+}
+
+func TestEngineSingleTupleMode(t *testing.T) {
+	q := Sum([]string{"a"}, Table("R", "a", "b"))
+	eng, _ := NewEngine("QS", q, map[string]Schema{"R": {"a", "b"}})
+	eng.SetSingleTuple(true)
+	b := NewBatch(Schema{"a", "b"})
+	b.Insert(Row(1, 2))
+	b.Insert(Row(1, 3))
+	eng.ApplyBatch("R", b)
+	if got := eng.Result().Get(Row(1)); got != 2 {
+		t.Fatalf("single-tuple mode = %g, want 2", got)
+	}
+}
+
+func TestDistributedEngineMatchesLocal(t *testing.T) {
+	q := Sum([]string{"b"}, Join(Table("R", "a", "b"), Table("S", "b", "c")))
+	bases := map[string]Schema{"R": {"a", "b"}, "S": {"b", "c"}}
+	local, err := NewEngine("Q", q, bases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	distEng, err := NewDistributedEngine("Q", q, bases, 4, map[string]int{"b": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		br := NewBatch(Schema{"a", "b"})
+		bs := NewBatch(Schema{"b", "c"})
+		for j := 0; j < 10; j++ {
+			br.Insert(Row(i*10+j, j%3))
+			bs.Insert(Row(j%3, j))
+		}
+		local.ApplyBatch("R", cloneBatch(br))
+		local.ApplyBatch("S", cloneBatch(bs))
+		if _, err := distEng.ApplyBatch("R", br); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := distEng.ApplyBatch("S", bs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := local.Result()
+	got := distEng.Result()
+	if got.Len() != want.Len() {
+		t.Fatalf("distributed diverged: %s vs %s", got, want)
+	}
+	want.Foreach(func(tp Tuple, m float64) {
+		if got.Get(tp) != m {
+			t.Fatalf("group %v: %g vs %g", tp, got.Get(tp), m)
+		}
+	})
+	if distEng.Metrics.Latency <= 0 {
+		t.Fatal("metrics not accumulated")
+	}
+	if distEng.TriggerProgram("R") == "" {
+		t.Fatal("trigger program rendering empty")
+	}
+}
+
+func cloneBatch(b *Batch) *Batch {
+	c := NewBatch(b.rel.Schema())
+	b.rel.Foreach(func(t Tuple, m float64) { c.Change(t, m) })
+	return c
+}
+
+func TestDistributedEngineTPCHKeyRanks(t *testing.T) {
+	// The exported workload key ranks drive partitioning without panics.
+	q, err := tpch.QueryByName("Q3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewDistributedEngine("Q3", q.Def, q.BaseSchemas(), 3, tpch.PrimaryKeyRanks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBatch(tpch.Schemas[tpch.Customer])
+	b.Insert(Row(1, 1, 2, 100.0, 13))
+	if _, err := eng.ApplyBatch(tpch.Customer, b); err != nil {
+		t.Fatal(err)
+	}
+}
