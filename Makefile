@@ -1,0 +1,22 @@
+# Local targets mirror .github/workflows/ci.yml exactly.
+
+GO ?= go
+
+.PHONY: build test lint bench ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race ./...
+
+lint:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; fi
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x . ./internal/bench/
+
+ci: lint build test
+	@$(MAKE) bench || echo "warning: benchmark smoke pass failed"

@@ -2,7 +2,9 @@
 // scaled-down workloads. Run with no arguments for the full sweep, or
 // name experiments:
 //
-//	hotdog [flags] [fig5 fig7 fig8 fig9 fig10 fig12 fig13 table1 table2 table3 ablations memory]
+//	hotdog [flags] [fig5 fig7 fig8 fig9 fig10 fig12 fig13 table1 table2
+//	                table3 ablations ablation-domain ablation-columnar
+//	                memory]
 //
 // Flags:
 //
@@ -75,7 +77,17 @@ func main() {
 		return false
 	}
 
+	known := map[string]bool{}
+	for _, e := range all {
+		known[e.name] = true
+	}
 	failed := false
+	for _, w := range want {
+		if !known[w] {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", w)
+			failed = true
+		}
+	}
 	for _, e := range all {
 		if !selected(e.name) {
 			continue

@@ -332,7 +332,7 @@ func Fig5() (*Table, error) {
 func Fig13(cfg DistConfig) (*Table, error) {
 	t := &Table{
 		Title:   "Figure 13: optimization effects on distributed Q3 (latency per batch)",
-		Columns: []string{"workers", "O0 naive", "O1 +simplify", "O2 +fusion", "O3 +CSE/DCE"},
+		Columns: []string{"workers", "O0 naive", "O1 locality", "O2 +xform CSE", "O3 +fusion"},
 		Notes:   "paper: block fusion brings the largest boost and enables scalable execution",
 	}
 	levels := []dist.OptLevel{dist.O0, dist.O1, dist.O2, dist.O3}

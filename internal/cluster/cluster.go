@@ -171,6 +171,9 @@ func (c *Cluster) partIndex(t mring.Tuple, keyPos []int) int {
 // starts at the driver (the paper's Fig. 5 shape: LOCAL DELTA := {...}
 // then SCATTER). Returns the virtual metrics of this batch.
 func (c *Cluster) Run(prog *dist.DistProgram, batch *mring.Relation) (Metrics, error) {
+	if prog == nil {
+		return Metrics{}, fmt.Errorf("cluster: nil distributed program (unknown relation?)")
+	}
 	dn := eval.DeltaName(prog.Relation)
 	c.driver.rels[dn] = batch
 	c.schemas[dn] = batch.Schema()
@@ -183,6 +186,9 @@ func (c *Cluster) Run(prog *dist.DistProgram, batch *mring.Relation) (Metrics, e
 // worker. The program must have been compiled with the delta tagged
 // Random.
 func (c *Cluster) RunPartitioned(prog *dist.DistProgram, partsOfBatch []*mring.Relation) (Metrics, error) {
+	if prog == nil {
+		return Metrics{}, fmt.Errorf("cluster: nil distributed program (unknown relation?)")
+	}
 	if len(partsOfBatch) != len(c.workers) {
 		return Metrics{}, fmt.Errorf("cluster: got %d batch partitions for %d workers", len(partsOfBatch), len(c.workers))
 	}

@@ -1,0 +1,229 @@
+package dist
+
+import (
+	"testing"
+
+	"repro/internal/compile"
+	"repro/internal/eval"
+	"repro/internal/expr"
+	"repro/internal/mring"
+	"repro/internal/tpch"
+)
+
+func compileQ3(t *testing.T) (*compile.Program, PartInfo) {
+	t.Helper()
+	q, err := tpch.QueryByName("Q3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := compile.Compile(q.Name, q.Def, q.BaseSchemas(), compile.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog, ChoosePartitioning(prog, tpch.PrimaryKeyRanks)
+}
+
+func TestChoosePartitioningRespectsKeyRanks(t *testing.T) {
+	prog, parts := compileQ3(t)
+	// Every keyed view must be partitioned on the best-ranked column of
+	// its schema.
+	for _, v := range prog.Views {
+		loc := parts[v.Name]
+		if !loc.Keyed() {
+			continue
+		}
+		if len(loc.Key) != 1 {
+			t.Fatalf("%s: expected single partition key, got %v", v.Name, loc.Key)
+		}
+		key := loc.Key[0]
+		if !v.Schema.Contains(key) {
+			t.Fatalf("%s: partition key %q not in schema %v", v.Name, key, v.Schema)
+		}
+		keyRank := tpch.PrimaryKeyRanks[key]
+		for _, col := range v.Schema {
+			if r := tpch.PrimaryKeyRanks[col]; r > keyRank {
+				t.Fatalf("%s: partitioned on %q (rank %d) but schema holds %q (rank %d)",
+					v.Name, key, keyRank, col, r)
+			}
+		}
+	}
+	// The Q3 top view joins on orderkey, the highest-ranked key.
+	if got := parts["Q3"]; !got.Keyed() || got.Key[0] != "o_orderkey" {
+		t.Fatalf("Q3 partitioned %v, want dist[o_orderkey]", got)
+	}
+	// Scalar views stay at the driver, deltas are worker-ingested.
+	q6, err := tpch.QueryByName("Q6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog6, err := compile.Compile(q6.Name, q6.Def, q6.BaseSchemas(), compile.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts6 := ChoosePartitioning(prog6, tpch.PrimaryKeyRanks)
+	if got := parts6["Q6"]; got.Kind != LLocal {
+		t.Fatalf("scalar Q6 located %v, want local", got)
+	}
+	if got := parts6[eval.DeltaName("lineitem")]; got.Kind != LDist || got.Keyed() {
+		t.Fatalf("delta located %v, want random", got)
+	}
+}
+
+func TestChoosePartitioningReplicatesDimensions(t *testing.T) {
+	// A view whose schema holds only low-ranked dimension keys is
+	// replicated rather than partitioned.
+	q := expr.Sum([]string{"n_nationkey", "n_name"}, expr.Base("nation", "n_nationkey", "n_name"))
+	prog, err := compile.Compile("QN", q, map[string]mring.Schema{
+		"nation": {"n_nationkey", "n_name"},
+	}, compile.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := ChoosePartitioning(prog, tpch.PrimaryKeyRanks)
+	if got := parts["QN"]; got.Kind != LIndiff {
+		t.Fatalf("dimension view located %v, want replicated", got)
+	}
+}
+
+func countBlocks(dp *DistProgram) (local, dist int) {
+	for _, b := range dp.Blocks {
+		if b.Mode == LDist {
+			dist++
+		} else {
+			local++
+		}
+	}
+	return
+}
+
+func TestFuseBlocksReducesBlockCount(t *testing.T) {
+	prog, parts := compileQ3(t)
+	for _, rel := range []string{"lineitem", "orders", "customer"} {
+		unfused := CompileProgram(prog, parts, O2)[rel]
+		fused := FuseBlocks(unfused.Blocks)
+		if len(fused) >= len(unfused.Blocks) {
+			t.Fatalf("%s: fusion did not reduce blocks: %d -> %d",
+				rel, len(unfused.Blocks), len(fused))
+		}
+		// Fusion preserves the statements (reordered, none dropped).
+		n, m := 0, 0
+		for _, b := range unfused.Blocks {
+			n += len(b.Stmts)
+		}
+		for _, b := range fused {
+			m += len(b.Stmts)
+		}
+		if n != m {
+			t.Fatalf("%s: fusion changed statement count %d -> %d", rel, n, m)
+		}
+	}
+}
+
+func TestFuseBlocksPreservesDependencies(t *testing.T) {
+	// A gather of a worker-computed temp must stay after the distributed
+	// statement producing it, even when fusion reorders.
+	prog, parts := compileQ3(t)
+	for _, rel := range []string{"lineitem", "orders", "customer"} {
+		dp := CompileProgram(prog, parts, O3)[rel]
+		written := map[string]bool{}
+		for n := range parts {
+			written[n] = true // canonical state exists before the batch
+		}
+		written[eval.DeltaName(rel)] = true
+		for _, b := range dp.Blocks {
+			for _, s := range b.Stmts {
+				for name := range stmtReads(s) {
+					if !written[name] {
+						t.Fatalf("%s: statement %q reads %q before it is written\n%s",
+							rel, s, name, dp)
+					}
+				}
+				written[s.LHS] = true
+			}
+		}
+	}
+}
+
+func TestO3FewerDistBlocksThanO1(t *testing.T) {
+	prog, parts := compileQ3(t)
+	o1 := CompileProgram(prog, parts, O1)
+	o3 := CompileProgram(prog, parts, O3)
+	tot1, tot3 := 0, 0
+	for _, rel := range []string{"lineitem", "orders", "customer"} {
+		_, d1 := countBlocks(o1[rel])
+		_, d3 := countBlocks(o3[rel])
+		tot1 += d1
+		tot3 += d3
+		if d3 > d1 {
+			t.Fatalf("%s: O3 has more dist blocks (%d) than O1 (%d)", rel, d3, d1)
+		}
+	}
+	if tot3 >= tot1 {
+		t.Fatalf("O3 total dist blocks %d, want fewer than O1's %d", tot3, tot1)
+	}
+}
+
+func TestRedundantTransformerElimination(t *testing.T) {
+	// The tri-join R-trigger scatters ΔR by B for two different
+	// statements; O2 must perform the movement once.
+	q := expr.Sum([]string{"B"}, expr.Join(
+		expr.Base("R", "A", "B"), expr.Base("S", "B", "C"), expr.Base("T", "C", "D")))
+	bases := map[string]mring.Schema{"R": {"A", "B"}, "S": {"B", "C"}, "T": {"C", "D"}}
+	prog, err := compile.Compile("Q", q, bases, compile.Options{DomainExtraction: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := PartInfo{}
+	for _, v := range prog.Views {
+		if v.Transient || len(v.Schema) == 0 {
+			parts[v.Name] = Local
+			continue
+		}
+		parts[v.Name] = Dist(v.Schema[0])
+	}
+	parts["Q"] = Local
+	for rel := range bases {
+		parts[eval.DeltaName(rel)] = Local
+	}
+	o1 := CompileProgram(prog, parts, O1)["R"]
+	o2 := CompileProgram(prog, parts, O2)["R"]
+	if o2.CommStmts() >= o1.CommStmts() {
+		t.Fatalf("O2 transformers (%d) not fewer than O1's (%d)\nO1:\n%s\nO2:\n%s",
+			o2.CommStmts(), o1.CommStmts(), o1, o2)
+	}
+}
+
+func TestJobsAndStages(t *testing.T) {
+	q, err := tpch.QueryByName("Q6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := compile.Compile(q.Name, q.Def, q.BaseSchemas(), compile.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := ChoosePartitioning(prog, tpch.PrimaryKeyRanks)
+	dp := CompileProgram(prog, parts, O3)["lineitem"]
+	if dp.Stages() != 1 || dp.Jobs() != 1 {
+		t.Fatalf("Q6 lineitem trigger: %d jobs / %d stages, want 1/1\n%s",
+			dp.Jobs(), dp.Stages(), dp)
+	}
+}
+
+func TestLocAndXformStrings(t *testing.T) {
+	cases := map[string]string{
+		Local.String():     "local",
+		Random.String():    "random",
+		Indiff.String():    "indiff",
+		Dist("k").String(): "dist[k]",
+		(&Xform{Kind: XScatter, Key: mring.Schema{"k"}, Body: expr.View("V", "k")}).String(): "SCATTER[k](V(k))",
+		(&Xform{Kind: XScatter, Body: expr.View("V", "k")}).String():                         "BROADCAST(V(k))",
+		(&Xform{Kind: XGather, Body: expr.View("V", "k")}).String():                          "GATHER(V(k))",
+		(&Xform{Kind: XRepart, Key: mring.Schema{"k"}, Body: expr.View("V", "k")}).String():  "REPART[k](V(k))",
+	}
+	for got, want := range cases {
+		if got != want {
+			t.Fatalf("rendering: got %q want %q", got, want)
+		}
+	}
+}

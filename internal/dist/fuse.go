@@ -1,0 +1,109 @@
+package dist
+
+import (
+	"repro/internal/eval"
+	"repro/internal/expr"
+)
+
+// FuseBlocks is the block-fusion pass of App. C.3 (the O3 optimization):
+// it reorders statements within their data dependencies to merge blocks
+// of the same execution mode, minimizing the number of synchronization
+// barriers (every distributed block is one scheduling round; every local
+// block with transformers is one communication round).
+//
+// The input is not mutated; the fused sequence shares the statement
+// values.
+func FuseBlocks(blocks []Block) []Block {
+	type node struct {
+		mode   LocKind
+		stmt   Stmt
+		reads  map[string]bool
+		writes string
+	}
+	var nodes []*node
+	for _, b := range blocks {
+		for _, s := range b.Stmts {
+			n := &node{mode: b.Mode, stmt: s, reads: stmtReads(s), writes: s.LHS}
+			nodes = append(nodes, n)
+		}
+	}
+	if len(nodes) == 0 {
+		return nil
+	}
+
+	// deps[j] holds the indices that must execute before j: any earlier
+	// statement with a read/write, write/read, or write/write conflict.
+	deps := make([][]int, len(nodes))
+	for j, nj := range nodes {
+		for i := 0; i < j; i++ {
+			ni := nodes[i]
+			if ni.writes == nj.writes || nj.reads[ni.writes] || ni.reads[nj.writes] {
+				deps[j] = append(deps[j], i)
+			}
+		}
+	}
+
+	// Greedy list scheduling: emit every ready statement of the current
+	// mode (in original order, cascading as emissions unblock more), then
+	// switch modes. This merges all mergeable same-mode blocks while
+	// preserving every dependency.
+	scheduled := make([]bool, len(nodes))
+	remaining := len(nodes)
+	ready := func(j int) bool {
+		if scheduled[j] {
+			return false
+		}
+		for _, d := range deps[j] {
+			if !scheduled[d] {
+				return false
+			}
+		}
+		return true
+	}
+	var out []Block
+	mode := nodes[0].mode
+	for remaining > 0 {
+		var cur []Stmt
+		for progress := true; progress; {
+			progress = false
+			for j, n := range nodes {
+				if n.mode == mode && ready(j) {
+					cur = append(cur, n.stmt)
+					scheduled[j] = true
+					remaining--
+					progress = true
+				}
+			}
+		}
+		if len(cur) > 0 {
+			out = append(out, Block{Mode: mode, Stmts: cur})
+		}
+		if mode == LLocal {
+			mode = LDist
+		} else {
+			mode = LLocal
+		}
+	}
+	return out
+}
+
+// stmtReads returns the environment names a statement reads (descending
+// into transformer bodies).
+func stmtReads(s Stmt) map[string]bool {
+	reads := map[string]bool{}
+	var walk func(e expr.Expr)
+	walk = func(e expr.Expr) {
+		if x, ok := e.(*Xform); ok {
+			walk(x.Body)
+			return
+		}
+		expr.Walk(e, func(n expr.Expr) bool {
+			if r, ok := n.(*expr.Rel); ok {
+				reads[eval.RelEnvName(r)] = true
+			}
+			return true
+		})
+	}
+	walk(s.RHS)
+	return reads
+}

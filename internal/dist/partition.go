@@ -1,0 +1,76 @@
+package dist
+
+import (
+	"repro/internal/compile"
+	"repro/internal/eval"
+	"repro/internal/mring"
+)
+
+// PartInfo construction: the co-partitioning heuristic of Sec. 6.2.
+
+// ViewSchemas returns the schema of every relation a compiled program's
+// triggers can reference: all materialized views (including transients)
+// and the update batches under their Δ-names.
+func ViewSchemas(prog *compile.Program) map[string]mring.Schema {
+	schemas := make(map[string]mring.Schema, len(prog.Views)+len(prog.Bases))
+	for _, v := range prog.Views {
+		schemas[v.Name] = v.Schema.Clone()
+	}
+	for name, s := range prog.Bases {
+		schemas[eval.DeltaName(name)] = s.Clone()
+	}
+	return schemas
+}
+
+// ChoosePartitioning assigns a location to every view and delta of a
+// compiled program, following the paper's heuristic: partition each view
+// on the key of the largest base relation appearing in its schema.
+// keyRanks orders the candidate partition columns by the cardinality of
+// their source table (higher rank = larger table; see
+// tpch.PrimaryKeyRanks). The resulting choices:
+//
+//   - scalar views (empty schema) live at the driver;
+//   - views whose schema holds a ranked key column are hash-partitioned
+//     on the best-ranked one;
+//   - views over small dimensions only (best rank <= 1, or no ranked
+//     column at all) are replicated, so fact-side triggers never move
+//     them;
+//   - transient per-batch delta views with no ranked column stay wherever
+//     the batch fragments live (Random);
+//   - update batches are tagged Random: workers ingest stream fragments
+//     directly (Sec. 6.2), which is what Cluster.RunPartitioned models.
+func ChoosePartitioning(prog *compile.Program, keyRanks map[string]int) PartInfo {
+	parts := make(PartInfo, len(prog.Views)+len(prog.Bases))
+	for _, v := range prog.Views {
+		parts[v.Name] = chooseViewLoc(v, keyRanks)
+	}
+	for name := range prog.Bases {
+		parts[eval.DeltaName(name)] = Random
+	}
+	return parts
+}
+
+func chooseViewLoc(v *compile.ViewDef, keyRanks map[string]int) Loc {
+	if len(v.Schema) == 0 {
+		if v.Transient {
+			return Random
+		}
+		return Local
+	}
+	best, bestRank := "", 0
+	for _, col := range v.Schema {
+		if r, ok := keyRanks[col]; ok && r > bestRank {
+			best, bestRank = col, r
+		}
+	}
+	if bestRank >= 2 {
+		return Dist(best)
+	}
+	if v.Transient {
+		// Per-batch delta aggregates: leave them co-located with the
+		// batch fragments that produced them.
+		return Random
+	}
+	// Only low-cardinality dimension keys (or none at all): replicate.
+	return Indiff
+}

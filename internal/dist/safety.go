@@ -1,0 +1,170 @@
+package dist
+
+import (
+	"repro/internal/eval"
+	"repro/internal/expr"
+)
+
+// Variable equivalence classes and the distributed-safety check: a
+// statement may run as one stage only if merging the per-worker results
+// of its RHS equals the global result. Sufficient conditions (Sec. 4.2's
+// locality reasoning, approximated):
+//
+//   - every multiplicity-carrying path contains an input partitioned on
+//     the anchor, so each contribution is produced on exactly one worker;
+//   - nested aggregate lifts over partitioned data are correlated with
+//     the anchor classes, so each evaluation context sees its complete
+//     group locally.
+//
+// Equivalence classes are computed over the whole statement (equality
+// predicates and variable renamings anywhere in the tree), which
+// over-approximates per-branch equalities; the compiler-generated
+// trigger programs correlate branches uniformly, and the conservative
+// driver fallback covers everything the check rejects.
+
+// unionFind is a tiny union-find over variable names. Variables with the
+// same name are trivially in the same class (natural-join semantics).
+type unionFind map[string]string
+
+func (u unionFind) find(x string) string {
+	r, ok := u[x]
+	if !ok || r == x {
+		return x
+	}
+	root := u.find(r)
+	u[x] = root
+	return root
+}
+
+func (u unionFind) union(a, b string) {
+	ra, rb := u.find(a), u.find(b)
+	if ra != rb {
+		u[ra] = rb
+	}
+}
+
+// eqClasses collects variable equivalences from equality comparisons
+// (a = b) and variable renamings (a := b) anywhere in the statement.
+func eqClasses(e expr.Expr) unionFind {
+	uf := unionFind{}
+	expr.Walk(e, func(n expr.Expr) bool {
+		switch x := n.(type) {
+		case *expr.Cmp:
+			if x.Op != expr.CEq {
+				return true
+			}
+			l, lok := x.L.(expr.VarRef)
+			r, rok := x.R.(expr.VarRef)
+			if lok && rok {
+				uf.union(l.Name, r.Name)
+			}
+		case *expr.Assign:
+			if x.Q == nil {
+				if v, ok := x.ValE.(expr.VarRef); ok {
+					uf.union(x.Var, v.Name)
+				}
+			}
+		}
+		return true
+	})
+	return uf
+}
+
+// safeOn checks the statement RHS under a hosting plan: result true
+// means per-worker evaluation merges correctly.
+func (tc *trigCompiler) safeOn(rhs expr.Expr, sp spec, pl []action) bool {
+	part := map[string]bool{}
+	for _, a := range pl {
+		if a.part {
+			part[a.r.env] = true
+		}
+	}
+	c := &safetyCheck{tc: tc, sp: sp, part: part}
+	conf := c.conf(rhs)
+	return conf && !c.poison
+}
+
+type safetyCheck struct {
+	tc     *trigCompiler
+	sp     spec
+	part   map[string]bool
+	poison bool
+}
+
+// conf reports whether every output tuple of e is produced exactly once
+// across the workers (with its full multiplicity on one worker).
+func (c *safetyCheck) conf(e expr.Expr) bool {
+	switch x := e.(type) {
+	case *expr.Rel:
+		return c.part[eval.RelEnvName(x)]
+	case *expr.Mul:
+		conf := false
+		for _, f := range x.Factors {
+			if c.conf(f) {
+				conf = true
+			}
+		}
+		return conf
+	case *expr.Plus:
+		conf := len(x.Terms) > 0
+		for _, t := range x.Terms {
+			if !c.conf(t) {
+				conf = false
+			}
+		}
+		return conf
+	case *expr.Agg:
+		return c.conf(x.Body)
+	case *expr.Exists:
+		return c.conf(x.Body)
+	case *expr.Assign:
+		if x.Q == nil {
+			return false
+		}
+		if len(x.Q.Schema()) == 0 {
+			// Scalar aggregate lift: per-worker evaluation yields partial
+			// sums, which is only correct when the context confines the
+			// evaluation to the worker owning the whole group — i.e. the
+			// lift is correlated with every anchor class.
+			c.checkScalarLift(x)
+			c.conf(x.Q) // still descend for nested poison
+			return false
+		}
+		return c.conf(x.Q)
+	default:
+		return false
+	}
+}
+
+// checkScalarLift poisons the plan when a scalar lift reads partitioned
+// data without being correlated on the anchor classes.
+func (c *safetyCheck) checkScalarLift(a *expr.Assign) {
+	hasPart := false
+	expr.Walk(a.Q, func(n expr.Expr) bool {
+		if r, ok := n.(*expr.Rel); ok && c.part[eval.RelEnvName(r)] {
+			hasPart = true
+		}
+		return true
+	})
+	if !hasPart {
+		return
+	}
+	if len(c.sp) == 0 {
+		c.poison = true // random anchor cannot be correlated
+		return
+	}
+	free := expr.FreeVars(a.Q)
+	for _, root := range c.sp {
+		covered := false
+		for _, v := range free {
+			if c.tc.uf.find(v) == root {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			c.poison = true
+			return
+		}
+	}
+}
