@@ -1,8 +1,10 @@
 # Local targets mirror .github/workflows/ci.yml exactly.
 
 GO ?= go
+# PR number stamped into the benchmark report filename (BENCH_<PR>.json).
+PR ?= 2
 
-.PHONY: build test lint bench ci
+.PHONY: build test lint bench bench-json ci
 
 build:
 	$(GO) build ./...
@@ -18,5 +20,12 @@ lint:
 bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x . ./internal/bench/
 
+# bench-json runs the representative tier-2 measurements and records them
+# in BENCH_$(PR).json (query, batch size, tuples/sec, shuffled bytes), so
+# the perf trajectory is tracked in-repo from PR 2 onward.
+bench-json:
+	$(GO) run ./cmd/benchjson -pr $(PR) -out BENCH_$(PR).json
+
 ci: lint build test
 	@$(MAKE) bench || echo "warning: benchmark smoke pass failed"
+	@$(MAKE) bench-json || echo "warning: bench-json pass failed"

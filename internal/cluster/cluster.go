@@ -17,6 +17,8 @@ package cluster
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
+	"sync"
 	"time"
 
 	"repro/internal/dist"
@@ -126,6 +128,11 @@ type Cluster struct {
 	schemas map[string]mring.Schema
 	parts   dist.PartInfo
 	rng     *rand.Rand
+	// Stats accumulates evaluation statistics across all nodes and
+	// batches. Per-worker contributions are merged in worker-index order
+	// after each stage barrier, so the totals are deterministic even
+	// though the workers run concurrently.
+	Stats eval.Stats
 }
 
 // New creates a cluster with empty state.
@@ -164,7 +171,7 @@ func (c *Cluster) schemaOf(name string, fallback mring.Schema) mring.Schema {
 // partIndex returns the worker index owning a tuple under the key columns
 // at the given positions.
 func (c *Cluster) partIndex(t mring.Tuple, keyPos []int) int {
-	return int(t.Project(keyPos).Hash() % uint64(len(c.workers)))
+	return int(t.HashCols(keyPos) % uint64(len(c.workers)))
 }
 
 // Run processes one update batch for the program's relation: the batch
@@ -208,9 +215,7 @@ func (c *Cluster) runBlocks(prog *dist.DistProgram) (Metrics, error) {
 	m.Jobs = prog.Jobs()
 	for _, b := range prog.Blocks {
 		if b.Mode == dist.LDist {
-			if err := c.runDistBlock(b, prog, &m); err != nil {
-				return m, err
-			}
+			c.runDistBlock(b, &m)
 			continue
 		}
 		if err := c.runLocalBlock(b, prog, &m); err != nil {
@@ -220,15 +225,38 @@ func (c *Cluster) runBlocks(prog *dist.DistProgram) (Metrics, error) {
 	return m, nil
 }
 
+// prepareStmts resolves every schema a block's statements may register, in
+// statement order, before any worker runs. Workers executing concurrently
+// then only read c.schemas; all lazy registration happens here, on the
+// driver thread.
+func (c *Cluster) prepareStmts(stmts []dist.Stmt) {
+	for _, s := range stmts {
+		walkRefs(s.RHS, func(r *expr.Rel) {
+			name := eval.RelEnvName(r)
+			if _, ok := c.schemas[name]; !ok {
+				c.schemas[name] = r.Cols.Clone()
+			}
+		})
+		if x, ok := s.RHS.(*dist.Xform); ok {
+			if src, ok := x.Body.(*expr.Rel); ok {
+				c.schemaOf(s.LHS, c.schemaOf(eval.RelEnvName(src), src.Cols))
+			}
+			continue
+		}
+		c.schemaOf(s.LHS, s.RHS.Schema())
+	}
+}
+
 // runLocalBlock executes driver-side statements; transformer statements
 // trigger data movement. All transformers of a block share one
 // communication round (the code-generation batching of Sec. 4.4).
 func (c *Cluster) runLocalBlock(b dist.Block, prog *dist.DistProgram, m *Metrics) error {
+	c.prepareStmts(b.Stmts)
 	rounds := 0
 	var roundBytes int64
 	var maxWorkerBytes int64
 	computeStart := time.Now()
-	var ops int64
+	var st eval.Stats
 	for _, s := range b.Stmts {
 		if x, ok := s.RHS.(*dist.Xform); ok {
 			bytes, maxPer, err := c.applyXform(s.LHS, x, prog)
@@ -242,13 +270,10 @@ func (c *Cluster) runLocalBlock(b dist.Block, prog *dist.DistProgram, m *Metrics
 			}
 			continue
 		}
-		o, err := c.runStmtOn(c.driver, s)
-		if err != nil {
-			return err
-		}
-		ops += o
+		st.Add(c.runStmtOn(c.driver, s))
 	}
-	compute := c.computeTime(ops, time.Since(computeStart))
+	c.Stats.Add(st)
+	compute := c.computeTime(st.Lookups+st.Scans+st.Emits, time.Since(computeStart))
 	m.Latency += compute
 	m.ComputeMax += compute
 	m.ComputeSum += compute
@@ -265,24 +290,53 @@ func (c *Cluster) runLocalBlock(b dist.Block, prog *dist.DistProgram, m *Metrics
 }
 
 // runDistBlock executes one stage: every worker runs the block's
-// statements over its fragments. Stage latency is the scheduling overhead
-// plus the slowest worker's compute (with optional straggler inflation).
-func (c *Cluster) runDistBlock(b dist.Block, prog *dist.DistProgram, m *Metrics) error {
-	var maxCompute, sumCompute time.Duration
-	for _, w := range c.workers {
-		start := time.Now()
-		var ops int64
-		for _, s := range b.Stmts {
-			o, err := c.runStmtOn(w, s)
-			if err != nil {
-				return err
+// statements over its fragments on its own goroutine, with a WaitGroup
+// barrier closing the stage (the platform's synchronous-round model).
+// Worker state is shared-nothing, and all schema registration happens in
+// prepareStmts before the fan-out, so the workers race on nothing; results
+// are bit-identical to sequential execution because each worker's own
+// statement order is unchanged and per-worker outcomes are merged in
+// worker-index order after the barrier. Stage latency is the scheduling
+// overhead plus the slowest worker's compute (with optional straggler
+// inflation); the per-worker measured wall time feeds the virtual cost
+// model when modeled compute is disabled.
+func (c *Cluster) runDistBlock(b dist.Block, m *Metrics) {
+	c.prepareStmts(b.Stmts)
+	computes := make([]time.Duration, len(c.workers))
+	stats := make([]eval.Stats, len(c.workers))
+	// In measured-time mode (ComputeNsPerOp == 0) bound the in-flight
+	// workers to the CPU count, with the clock started only once a slot is
+	// held: each worker's wall time then approximates its own compute
+	// rather than scheduler queueing behind the other simulated workers.
+	var sem chan struct{}
+	if c.cfg.ComputeNsPerOp <= 0 {
+		sem = make(chan struct{}, runtime.GOMAXPROCS(0))
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(c.workers))
+	for i, w := range c.workers {
+		go func(i int, w *node) {
+			defer wg.Done()
+			if sem != nil {
+				sem <- struct{}{}
+				defer func() { <-sem }()
 			}
-			ops += o
-		}
-		compute := c.computeTime(ops, time.Since(start))
-		sumCompute += compute
-		if compute > maxCompute {
-			maxCompute = compute
+			start := time.Now()
+			var st eval.Stats
+			for _, s := range b.Stmts {
+				st.Add(c.runStmtOn(w, s))
+			}
+			stats[i] = st
+			computes[i] = c.computeTime(st.Lookups+st.Scans+st.Emits, time.Since(start))
+		}(i, w)
+	}
+	wg.Wait()
+	var maxCompute, sumCompute time.Duration
+	for i := range c.workers {
+		c.Stats.Add(stats[i])
+		sumCompute += computes[i]
+		if computes[i] > maxCompute {
+			maxCompute = computes[i]
 		}
 	}
 	if c.cfg.StragglerProb > 0 && c.rng.Float64() < c.cfg.StragglerProb {
@@ -292,7 +346,6 @@ func (c *Cluster) runDistBlock(b dist.Block, prog *dist.DistProgram, m *Metrics)
 	m.Latency += sched + maxCompute
 	m.ComputeMax += maxCompute
 	m.ComputeSum += sumCompute
-	return nil
 }
 
 func (c *Cluster) computeTime(ops int64, measured time.Duration) time.Duration {
@@ -303,32 +356,25 @@ func (c *Cluster) computeTime(ops int64, measured time.Duration) time.Duration {
 }
 
 // runStmtOn evaluates a compute statement against one node's state and
-// returns the operation count.
-func (c *Cluster) runStmtOn(n *node, s dist.Stmt) (int64, error) {
+// returns the evaluation statistics. It only reads shared cluster state
+// (prepareStmts resolved all schemas beforehand) and mutates nothing but
+// the node's own fragments, so concurrent calls on distinct nodes are
+// race-free.
+func (c *Cluster) runStmtOn(n *node, s dist.Stmt) eval.Stats {
 	env := eval.NewEnv()
 	// Bind every relation the statement reads; lazily create fragments.
-	var missing error
 	walkRefs(s.RHS, func(r *expr.Rel) {
 		name := eval.RelEnvName(r)
-		schema, ok := c.schemas[name]
-		if !ok {
-			schema = r.Cols
-			c.schemas[name] = schema.Clone()
-		}
-		env.Bind(name, n.rel(name, schema))
+		env.Bind(name, n.rel(name, c.schemas[name]))
 	})
-	if missing != nil {
-		return 0, missing
-	}
-	target := n.rel(s.LHS, c.schemaOf(s.LHS, s.RHS.Schema()))
+	target := n.rel(s.LHS, c.schemas[s.LHS])
 	ctx := eval.NewCtx(env)
 	tmp := ctx.Materialize(s.RHS)
 	if s.Op == eval.OpSet {
 		target.Clear()
 	}
 	target.Merge(tmp)
-	st := ctx.Stats
-	return st.Lookups + st.Scans + st.Emits, nil
+	return ctx.Stats
 }
 
 // applyXform performs the data movement of one transformer statement and

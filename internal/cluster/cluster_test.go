@@ -323,8 +323,20 @@ func TestCheckpointRestoreAfterFailure(t *testing.T) {
 	if cl.CheckpointCost(cp) <= 0 {
 		t.Fatal("checkpoint cost should be positive")
 	}
-	// Fail a worker: the distributed view is now missing a fragment.
-	cl.KillWorker(2)
+	// Fail a worker that owns a fragment of the view: the distributed
+	// contents are now missing it. (Which workers own fragments depends on
+	// the tuple hash, so pick one that actually holds state.)
+	victim := -1
+	for i, w := range cl.workers {
+		if r := w.rels["QC"]; r != nil && r.Len() > 0 {
+			victim = i
+			break
+		}
+	}
+	if victim < 0 {
+		t.Fatal("no worker holds a QC fragment")
+	}
+	cl.KillWorker(victim)
 	if cl.ViewContents("QC").EqualApprox(local.Result(), 1e-9) {
 		t.Fatal("state should be damaged after worker failure")
 	}

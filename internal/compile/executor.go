@@ -16,6 +16,9 @@ type Executor struct {
 	prog  *Program
 	env   *eval.Env
 	views map[string]*mring.Relation
+	// deltaIdx holds, per Δ-delta env name, the index masks the triggers
+	// slice update batches with; ApplyBatch registers them on each batch.
+	deltaIdx map[string][][]int
 	// Stats accumulates evaluation statistics across batches.
 	Stats eval.Stats
 	// SingleTuple processes batches one tuple at a time through the same
@@ -26,15 +29,28 @@ type Executor struct {
 	Tracer func(rel string, tupleHash uint64)
 }
 
-// NewExecutor creates an executor with empty view contents.
+// NewExecutor creates an executor with empty view contents. The secondary
+// indexes declared by the compiler's access-path analysis are registered
+// on the views up front; the relations maintain them incrementally from
+// then on.
 func NewExecutor(prog *Program) *Executor {
 	ex := &Executor{
-		prog:  prog,
-		env:   eval.NewEnv(),
-		views: make(map[string]*mring.Relation),
+		prog:     prog,
+		env:      eval.NewEnv(),
+		views:    make(map[string]*mring.Relation),
+		deltaIdx: make(map[string][][]int),
 	}
 	for _, v := range prog.Views {
 		ex.views[v.Name] = ex.env.Define(v.Name, v.Schema)
+	}
+	for _, spec := range prog.Indexes {
+		if r, ok := ex.views[spec.Rel]; ok {
+			r.EnsureIndex(spec.Pos)
+		} else {
+			// Δ-delta (registered per batch) or base table (registered by
+			// InitFromBases when a warm start supplies contents).
+			ex.deltaIdx[spec.Rel] = append(ex.deltaIdx[spec.Rel], spec.Pos)
+		}
 	}
 	return ex
 }
@@ -61,6 +77,9 @@ func (ex *Executor) InitFromBases(bases map[string]*mring.Relation) {
 	env := eval.NewEnv()
 	for n, r := range bases {
 		env.Bind(n, r)
+		for _, pos := range ex.deltaIdx[n] {
+			r.EnsureIndex(pos)
+		}
 	}
 	ctx := eval.NewCtx(env)
 	for _, v := range ex.prog.Views {
@@ -81,14 +100,21 @@ func (ex *Executor) ApplyBatch(rel string, batch *mring.Relation) {
 	if trg == nil {
 		panic(fmt.Sprintf("compile: no trigger for relation %q", rel))
 	}
+	dn := eval.DeltaName(rel)
 	if ex.SingleTuple {
 		single := mring.NewRelation(batch.Schema())
+		for _, pos := range ex.deltaIdx[dn] {
+			single.EnsureIndex(pos)
+		}
 		batch.Foreach(func(t mring.Tuple, m float64) {
 			single.Clear()
 			single.Add(t, m)
 			ex.runTrigger(trg, rel, single)
 		})
 		return
+	}
+	for _, pos := range ex.deltaIdx[dn] {
+		batch.EnsureIndex(pos)
 	}
 	ex.runTrigger(trg, rel, batch)
 }
@@ -100,14 +126,14 @@ func (ex *Executor) runTrigger(trg *Trigger, rel string, batch *mring.Relation) 
 	for _, s := range trg.Stmts {
 		target := ex.views[s.LHS]
 		// Materialize the RHS before mutating the target so that
-		// self-references (and memoized slice indexes) observe a
-		// consistent pre-statement state.
+		// self-references observe a consistent pre-statement state. The
+		// views' secondary indexes are maintained incrementally by the
+		// Merge below, so no invalidation is needed between statements.
 		tmp := ctx.Materialize(s.RHS)
 		if s.Op == eval.OpSet {
 			target.Clear()
 		}
 		target.Merge(tmp)
-		ctx.InvalidateIndexes()
 	}
 	ex.Stats.Add(ctx.Stats)
 }

@@ -78,6 +78,7 @@ func Compile(queryName string, q expr.Expr, bases map[string]mring.Schema, opts 
 			c.preAggregate(prog, trg)
 		}
 	}
+	prog.Indexes = collectIndexSpecs(prog)
 	return prog, nil
 }
 

@@ -92,6 +92,9 @@ type Program struct {
 	Views []*ViewDef
 	// Triggers maps base relation name to its maintenance trigger.
 	Triggers map[string]*Trigger
+	// Indexes lists the secondary indexes the program's slice access
+	// paths probe (see accesspath.go); executors register them up front.
+	Indexes []IndexSpec
 	// Opts records the compilation options.
 	Opts Options
 }

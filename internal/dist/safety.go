@@ -116,6 +116,11 @@ func (c *safetyCheck) conf(e expr.Expr) bool {
 	case *expr.Agg:
 		return c.conf(x.Body)
 	case *expr.Exists:
+		// Exists is not linear: per-worker evaluation over partial groups
+		// emits 1 on every worker holding a fragment of the group, and the
+		// additive merge overcounts. Safe only when each body group lives
+		// wholly on one worker.
+		c.checkNonLinear(x.Body)
 		return c.conf(x.Body)
 	case *expr.Assign:
 		if x.Q == nil {
@@ -130,9 +135,53 @@ func (c *safetyCheck) conf(e expr.Expr) bool {
 			c.conf(x.Q) // still descend for nested poison
 			return false
 		}
+		// var := Q lifts the group multiplicity of Q into a value; a
+		// partial per-worker multiplicity would lift the wrong value, so
+		// the same whole-group-locality condition as Exists applies.
+		c.checkNonLinear(x.Q)
 		return c.conf(x.Q)
 	default:
 		return false
+	}
+}
+
+// checkNonLinear poisons the plan when a non-linear operator (Exists, or a
+// relation-valued lift) would evaluate per worker over partitioned data
+// whose groups are split across workers. The groups of the operator are
+// its body's output tuples, so the plan is safe only when every anchor
+// class is bound by a body schema column: then tuples agreeing on the
+// schema agree on the partition key and reside on one worker.
+func (c *safetyCheck) checkNonLinear(body expr.Expr) {
+	if c.poison {
+		return
+	}
+	hasPart := false
+	expr.Walk(body, func(n expr.Expr) bool {
+		if r, ok := n.(*expr.Rel); ok && c.part[eval.RelEnvName(r)] {
+			hasPart = true
+		}
+		return true
+	})
+	if !hasPart {
+		return // fully replicated/local body: every worker sees whole groups
+	}
+	if len(c.sp) == 0 {
+		c.poison = true // random partitioning co-locates nothing
+		return
+	}
+	schema := body.Schema()
+	for _, root := range c.sp {
+		covered := false
+		for _, col := range schema {
+			if c.tc.uf.find(col) == root {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			c.poison = true
+			return
+		}
 	}
 }
 

@@ -1,9 +1,20 @@
 // Package eval implements the paper's model of computation (Sec. 3.2.1):
 // expressions are trees of operators evaluated left to right, bottom up,
 // with information about bound variables flowing left to right through
-// products. Relational terms dispatch to foreach (no variables bound),
-// get (all bound), or slice (some bound) — the same three access patterns
-// the code generator specializes in Sec. 5.1.
+// products. Relational terms dispatch on the bound-variable set to the
+// three access paths the code generator specializes in Sec. 5.1:
+//
+//   - foreach (no variables bound): scan every stored tuple, binding all
+//     columns — a hash-map traversal of the relation's primary storage.
+//   - get (all variables bound): a single hash lookup of the probe tuple
+//     in the primary storage; no iteration, no allocation.
+//   - slice (some variables bound): probe a persistent secondary index
+//     owned by the relation, keyed by the bound-column projection. The
+//     indexes are registered per (relation, bound-column mask) — at
+//     compile time from the access patterns the compiler extracts, or
+//     lazily on first use — and are maintained incrementally by the
+//     relation on every mutation, so per-update maintenance is constant
+//     time and nothing is ever rebuilt or invalidated between batches.
 package eval
 
 import (
@@ -104,7 +115,7 @@ type Stats struct {
 	Lookups  int64 // get operations on relations
 	Scans    int64 // tuples visited by foreach/slice
 	Emits    int64 // tuples produced
-	IndexOps int64 // ad-hoc index builds
+	IndexOps int64 // secondary-index builds (first registration only)
 }
 
 // Add accumulates other into s.
@@ -115,35 +126,21 @@ func (s *Stats) Add(o Stats) {
 	s.IndexOps += o.IndexOps
 }
 
-// Ctx is one evaluation context. It memoizes ad-hoc hash indexes built for
-// slice access patterns; indexes are valid only while the underlying
-// relations do not change, so a Ctx must not outlive a trigger statement
-// that mutates its inputs.
+// Ctx is one evaluation context. Slice access paths probe persistent
+// secondary indexes owned by the relations themselves (maintained
+// incrementally on mutation), so a Ctx carries no cached index state and
+// may be reused across statements and batches freely.
 type Ctx struct {
 	Env   *Env
 	Stats Stats
-	// sliceIdx caches, per (relation name, bound-column mask), a hash
-	// index from bound-column key to matching tuples.
-	sliceIdx map[string]map[string][]idxEntry
 	// Tracer, when non-nil, observes every relation memory touch for the
 	// cache-locality experiment.
 	Tracer func(rel string, tupleHash uint64)
 }
 
-type idxEntry struct {
-	t mring.Tuple
-	m float64
-}
-
 // NewCtx returns a fresh evaluation context over env.
 func NewCtx(env *Env) *Ctx {
-	return &Ctx{Env: env, sliceIdx: make(map[string]map[string][]idxEntry)}
-}
-
-// InvalidateIndexes drops memoized slice indexes; call after mutating any
-// relation the context may have indexed.
-func (c *Ctx) InvalidateIndexes() {
-	clear(c.sliceIdx)
+	return &Ctx{Env: env}
 }
 
 // Eval evaluates e under binding b, invoking emit once per produced tuple
@@ -257,24 +254,21 @@ func (c *Ctx) evalRel(r *expr.Rel, b *Binding, emit func(m float64)) {
 			b.unset(r.Cols[i])
 		}
 	default:
-		// slice: some bound — probe a memoized hash index.
+		// slice: some bound — probe the relation's persistent secondary
+		// index for the bound-column mask.
 		c.evalSlice(r, rel, b, boundCols, freeCols, emit)
 	}
 }
 
 func (c *Ctx) evalSlice(r *expr.Rel, rel *mring.Relation, b *Binding, boundCols, freeCols []int, emit func(m float64)) {
-	mask := RelEnvName(r)
-	for _, i := range boundCols {
-		mask += "|" + r.Cols[i]
+	if !mring.Indexable(boundCols) {
+		// Bound columns beyond the index bitmask width (>64-column
+		// relation): degrade to a filtered scan rather than failing.
+		c.evalSliceScan(r, rel, b, boundCols, freeCols, emit)
+		return
 	}
-	idx, ok := c.sliceIdx[mask]
-	if !ok {
-		idx = make(map[string][]idxEntry)
-		rel.Foreach(func(t mring.Tuple, m float64) {
-			k := t.Project(boundCols).Key()
-			idx[k] = append(idx[k], idxEntry{t: t, m: m})
-		})
-		c.sliceIdx[mask] = idx
+	idx, built := rel.EnsureIndex(boundCols)
+	if built {
 		c.Stats.IndexOps++
 	}
 	probe := make(mring.Tuple, len(boundCols))
@@ -282,17 +276,44 @@ func (c *Ctx) evalSlice(r *expr.Rel, rel *mring.Relation, b *Binding, boundCols,
 		probe[j] = b.Lookup(r.Cols[i])
 	}
 	c.Stats.Lookups++
-	for _, e := range idx[probe.Key()] {
+	idx.Probe(probe, func(t mring.Tuple, m float64) {
 		c.Stats.Scans++
 		if c.Tracer != nil {
-			c.Tracer(r.Name, e.t.Hash())
+			c.Tracer(r.Name, t.Hash())
 		}
 		for _, i := range freeCols {
-			b.set(r.Cols[i], e.t[i])
+			b.set(r.Cols[i], t[i])
 		}
 		c.Stats.Emits++
-		emit(e.m)
+		emit(m)
+	})
+	for _, i := range freeCols {
+		b.unset(r.Cols[i])
 	}
+}
+
+// evalSliceScan is the unindexed slice path: scan everything, filter on
+// the bound columns.
+func (c *Ctx) evalSliceScan(r *expr.Rel, rel *mring.Relation, b *Binding, boundCols, freeCols []int, emit func(m float64)) {
+	probe := make(mring.Tuple, len(boundCols))
+	for j, i := range boundCols {
+		probe[j] = b.Lookup(r.Cols[i])
+	}
+	c.Stats.Lookups++
+	rel.Foreach(func(t mring.Tuple, m float64) {
+		c.Stats.Scans++
+		if !t.EqualAt(boundCols, probe) {
+			return
+		}
+		if c.Tracer != nil {
+			c.Tracer(r.Name, t.Hash())
+		}
+		for _, i := range freeCols {
+			b.set(r.Cols[i], t[i])
+		}
+		c.Stats.Emits++
+		emit(m)
+	})
 	for _, i := range freeCols {
 		b.unset(r.Cols[i])
 	}

@@ -300,8 +300,10 @@ func TestStatsAccumulation(t *testing.T) {
 	}
 }
 
-func TestEvalSliceIndexInvalidation(t *testing.T) {
-	// After mutating a relation, memoized slice indexes must be dropped.
+func TestEvalSliceIndexTracksMutations(t *testing.T) {
+	// Slice indexes are owned by the relations and maintained
+	// incrementally, so re-evaluating after a mutation sees fresh contents
+	// with no invalidation step.
 	env := NewEnv()
 	r := fill(env, "R", mring.Schema{"a"}, row(1, 1))
 	fill(env, "S", mring.Schema{"a", "b"}, row(1, 1, 10))
@@ -310,12 +312,22 @@ func TestEvalSliceIndexInvalidation(t *testing.T) {
 	if got := ctx.Materialize(q); got.Len() != 1 {
 		t.Fatalf("first eval wrong: %v", got)
 	}
+	if ctx.Stats.IndexOps != 1 {
+		t.Fatalf("expected one index build, stats: %+v", ctx.Stats)
+	}
 	env.Rel("S").Add(tup(1, 11), 1)
+	env.Rel("S").Add(tup(2, 12), 1)
 	r.Add(tup(2), 1)
-	ctx.InvalidateIndexes()
 	got := ctx.Materialize(q)
-	if got.Len() != 2 {
-		t.Fatalf("post-invalidation eval wrong: %v", got)
+	if got.Len() != 3 {
+		t.Fatalf("post-mutation eval wrong: %v", got)
+	}
+	if ctx.Stats.IndexOps != 1 {
+		t.Fatalf("index must not be rebuilt, stats: %+v", ctx.Stats)
+	}
+	env.Rel("S").Add(tup(1, 10), -1) // delete: index must drop the tuple
+	if got := ctx.Materialize(q); got.Len() != 2 {
+		t.Fatalf("post-delete eval wrong: %v", got)
 	}
 }
 

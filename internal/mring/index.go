@@ -1,0 +1,129 @@
+package mring
+
+import "fmt"
+
+// Index is a secondary hash index over a relation, keyed by the projection
+// of each tuple onto a fixed set of column positions (the bound-column mask
+// of a slice access pattern, Sec. 5.1). Indexes are owned by the relation
+// and maintained incrementally on every Add/Set/Clear, so they are always
+// consistent with the primary storage — there is nothing to invalidate.
+//
+// Index buckets share the relation's entry nodes, so a pure multiplicity
+// change needs no index work at all; only insertions and deletions of
+// distinct tuples touch the buckets.
+type Index struct {
+	r   *Relation
+	pos []int
+	m   map[uint64][]*entry
+}
+
+// MaxIndexCol is the first column position a secondary index cannot
+// cover (the bound-column bitmask is 64 bits wide). Callers probing wider
+// relations must check Indexable and fall back to a scan.
+const MaxIndexCol = 64
+
+// Indexable reports whether every position fits in the index bitmask.
+// Positions are ascending, so only the last needs checking.
+func Indexable(pos []int) bool {
+	return len(pos) == 0 || pos[len(pos)-1] < MaxIndexCol
+}
+
+// ColMask packs ascending column positions into a bitmask identifying an
+// index. Callers guard with Indexable; out-of-range positions panic.
+func ColMask(pos []int) uint64 {
+	var mask uint64
+	for _, p := range pos {
+		if p < 0 || p >= MaxIndexCol {
+			panic(fmt.Sprintf("mring: index column position %d out of range", p))
+		}
+		mask |= 1 << uint(p)
+	}
+	return mask
+}
+
+// MaskCols expands a bitmask back into ascending column positions.
+func MaskCols(mask uint64) []int {
+	var pos []int
+	for p := 0; mask != 0; p, mask = p+1, mask>>1 {
+		if mask&1 != 0 {
+			pos = append(pos, p)
+		}
+	}
+	return pos
+}
+
+// keyHash hashes the projection of t onto the index columns, honoring the
+// relation's test-only hash override so forced collisions also exercise
+// index buckets.
+func (ix *Index) keyHash(t Tuple, pos []int) uint64 {
+	if ix.r.hashFn != nil {
+		return ix.r.hashFn(t.Project(pos))
+	}
+	return t.HashCols(pos)
+}
+
+func (ix *Index) insert(e *entry) {
+	h := ix.keyHash(e.t, ix.pos)
+	ix.m[h] = append(ix.m[h], e)
+}
+
+func (ix *Index) remove(e *entry) {
+	h := ix.keyHash(e.t, ix.pos)
+	b := ix.m[h]
+	for i, x := range b {
+		if x == e {
+			b[i] = b[len(b)-1]
+			b[len(b)-1] = nil
+			b = b[:len(b)-1]
+			if len(b) == 0 {
+				delete(ix.m, h)
+			} else {
+				ix.m[h] = b
+			}
+			return
+		}
+	}
+}
+
+// EnsureIndex returns the secondary index over the given ascending column
+// positions, building it from the current contents on first registration.
+// The returned bool reports whether a build happened (for index-op stats).
+// The positions slice is not retained if the index already exists.
+func (r *Relation) EnsureIndex(pos []int) (*Index, bool) {
+	mask := ColMask(pos)
+	if ix, ok := r.idxs[mask]; ok {
+		return ix, false
+	}
+	ix := &Index{r: r, pos: append([]int(nil), pos...), m: make(map[uint64][]*entry, r.n)}
+	for _, e := range r.tab {
+		for ; e != nil; e = e.next {
+			ix.insert(e)
+		}
+	}
+	if r.idxs == nil {
+		r.idxs = make(map[uint64]*Index)
+	}
+	r.idxs[mask] = ix
+	return ix, true
+}
+
+// Probe calls f for every tuple whose projection onto the index columns
+// equals probe (one value per index column, in ascending position order).
+// f must not mutate the relation.
+func (ix *Index) Probe(probe Tuple, f func(t Tuple, m float64)) {
+	var h uint64
+	if ix.r.hashFn != nil {
+		h = ix.r.hashFn(probe)
+	} else {
+		h = probe.Hash()
+	}
+	for _, e := range ix.m[h] {
+		if e.t.EqualAt(ix.pos, probe) {
+			f(e.t, e.m)
+		}
+	}
+}
+
+// Indexes returns the number of registered secondary indexes (for tests
+// and memory reporting).
+func (r *Relation) Indexes() int { return len(r.idxs) }

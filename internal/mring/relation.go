@@ -80,30 +80,135 @@ func (s Schema) Union(o Schema) Schema {
 	return out
 }
 
-// entry stores one unique tuple and its multiplicity.
+// entry stores one unique tuple, its multiplicity, and its full 64-bit
+// hash (kept for cheap rehashing and as an equality pre-filter). Entries
+// are heap nodes shared between the primary hash table and any secondary
+// indexes, so a multiplicity update is visible everywhere without index
+// maintenance. next chains entries landing in the same bucket (nil in the
+// overwhelming common case).
 type entry struct {
-	t Tuple
-	m float64
+	t    Tuple
+	m    float64
+	h    uint64
+	next *entry
 }
 
 // Relation is a generalized multiset relation: a finite map from unique
-// tuples to non-zero multiplicities. The zero value is not ready to use;
-// construct with NewRelation.
+// tuples to non-zero multiplicities. Storage is hash-native: an
+// open-chained power-of-two bucket table keyed directly by the tuples'
+// 64-bit canonical hash, so lookups and inserts never materialize string
+// keys and never re-hash the key the way a built-in map would
+// (Tuple.EncodeKey remains only for the wire format). The zero value is
+// not ready to use; construct with NewRelation.
 type Relation struct {
 	schema Schema
-	m      map[string]entry
+	tab    []*entry // power-of-two bucket array, nil until first insert
+	mask   uint64   // len(tab)-1
+	n      int
+	// idxs holds the registered secondary indexes, keyed by bound-column
+	// bitmask; they are maintained incrementally on every mutation.
+	idxs map[uint64]*Index
+	// hashFn overrides tuple hashing in tests (forcing collisions); nil
+	// means Tuple.Hash. Set it before the first insert.
+	hashFn func(Tuple) uint64
 }
 
 // NewRelation returns an empty relation with the given schema.
 func NewRelation(schema Schema) *Relation {
-	return &Relation{schema: schema.Clone(), m: make(map[string]entry)}
+	return &Relation{schema: schema.Clone()}
+}
+
+// grow doubles the bucket table (or creates it) and relinks every entry
+// under its stored hash — no per-entry allocation.
+func (r *Relation) grow() {
+	size := 8
+	if len(r.tab) > 0 {
+		size = len(r.tab) * 2
+	}
+	ntab := make([]*entry, size)
+	nmask := uint64(size - 1)
+	for _, e := range r.tab {
+		for e != nil {
+			next := e.next
+			i := e.h & nmask
+			e.next = ntab[i]
+			ntab[i] = e
+			e = next
+		}
+	}
+	r.tab, r.mask = ntab, nmask
 }
 
 // Schema returns the relation's column names. Callers must not mutate it.
 func (r *Relation) Schema() Schema { return r.schema }
 
 // Len returns the number of tuples with non-zero multiplicity.
-func (r *Relation) Len() int { return len(r.m) }
+func (r *Relation) Len() int { return r.n }
+
+func (r *Relation) hash(t Tuple) uint64 {
+	if r.hashFn != nil {
+		return r.hashFn(t)
+	}
+	return t.Hash()
+}
+
+// lookup returns the entry holding t, or nil.
+func (r *Relation) lookup(t Tuple) *entry {
+	if r.tab == nil {
+		return nil
+	}
+	h := r.hash(t)
+	for e := r.tab[h&r.mask]; e != nil; e = e.next {
+		if e.h == h && e.t.KeyEqual(t) {
+			return e
+		}
+	}
+	return nil
+}
+
+// insertHashed adds a fresh entry for t (which must not be present) under
+// its precomputed hash. t is stored as-is; callers clone when the tuple
+// may be reused.
+func (r *Relation) insertHashed(h uint64, t Tuple, m float64) {
+	if r.n >= len(r.tab) { // covers the nil table: 0 >= 0
+		r.grow()
+	}
+	i := h & r.mask
+	e := &entry{t: t, m: m, h: h, next: r.tab[i]}
+	r.tab[i] = e
+	r.n++
+	for _, ix := range r.idxs {
+		ix.insert(e)
+	}
+}
+
+// removeHashed unlinks target from its bucket chain and from all
+// secondary indexes.
+func (r *Relation) removeHashed(target *entry) {
+	i := target.h & r.mask
+	var prev *entry
+	for e := r.tab[i]; e != nil; prev, e = e, e.next {
+		if e != target {
+			continue
+		}
+		if prev == nil {
+			r.tab[i] = e.next
+		} else {
+			prev.next = e.next
+		}
+		e.next = nil
+		r.n--
+		for _, ix := range r.idxs {
+			ix.remove(e)
+		}
+		return
+	}
+}
+
+// insert adds a fresh entry for t (which must not be present).
+func (r *Relation) insert(t Tuple, m float64) {
+	r.insertHashed(r.hash(t), t, m)
+}
 
 // Add adds m to the multiplicity of tuple t, inserting or deleting as
 // needed. The tuple is copied; callers may reuse t.
@@ -111,50 +216,76 @@ func (r *Relation) Add(t Tuple, m float64) {
 	if m == 0 {
 		return
 	}
-	k := t.Key()
-	e, ok := r.m[k]
-	if !ok {
-		r.m[k] = entry{t: t.Clone(), m: m}
-		return
+	h := r.hash(t)
+	if r.tab != nil {
+		for e := r.tab[h&r.mask]; e != nil; e = e.next {
+			if e.h == h && e.t.KeyEqual(t) {
+				e.m += m
+				if e.m > -Eps && e.m < Eps {
+					r.removeHashed(e)
+				}
+				return
+			}
+		}
 	}
-	e.m += m
-	if e.m > -Eps && e.m < Eps {
-		delete(r.m, k)
-		return
-	}
-	r.m[k] = e
+	r.insertHashed(h, t.Clone(), m)
 }
 
 // Set forces the multiplicity of t to m (removing the tuple when m is zero).
 func (r *Relation) Set(t Tuple, m float64) {
-	k := t.Key()
+	h := r.hash(t)
+	var e *entry
+	if r.tab != nil {
+		for e = r.tab[h&r.mask]; e != nil; e = e.next {
+			if e.h == h && e.t.KeyEqual(t) {
+				break
+			}
+		}
+	}
 	if m > -Eps && m < Eps {
-		delete(r.m, k)
+		if e != nil {
+			r.removeHashed(e)
+		}
 		return
 	}
-	r.m[k] = entry{t: t.Clone(), m: m}
+	if e != nil {
+		// Replace the stored tuple too: t may be a key-equal but distinct
+		// representation (Float(3) over Int(3)), and Set semantics store
+		// the caller's tuple. Key-equal tuples hash identically, so the
+		// primary and index bucket positions stay valid.
+		e.t = t.Clone()
+		e.m = m
+		return
+	}
+	r.insertHashed(h, t.Clone(), m)
 }
 
 // Get returns the multiplicity of t (zero if absent).
-func (r *Relation) Get(t Tuple) float64 { return r.m[t.Key()].m }
-
-// GetKey returns the multiplicity stored under a pre-encoded key.
-func (r *Relation) GetKey(k string) float64 { return r.m[k].m }
+func (r *Relation) Get(t Tuple) float64 {
+	if e := r.lookup(t); e != nil {
+		return e.m
+	}
+	return 0
+}
 
 // Foreach calls f for every tuple with non-zero multiplicity. Iteration
 // order is unspecified. f must not mutate the relation.
 func (r *Relation) Foreach(f func(t Tuple, m float64)) {
-	for _, e := range r.m {
-		f(e.t, e.m)
+	for _, e := range r.tab {
+		for ; e != nil; e = e.next {
+			f(e.t, e.m)
+		}
 	}
 }
 
 // ForeachSorted iterates in the deterministic tuple order; it is intended
 // for tests and report output, not hot paths.
 func (r *Relation) ForeachSorted(f func(t Tuple, m float64)) {
-	es := make([]entry, 0, len(r.m))
-	for _, e := range r.m {
-		es = append(es, e)
+	es := make([]*entry, 0, r.n)
+	for _, e := range r.tab {
+		for ; e != nil; e = e.next {
+			es = append(es, e)
+		}
 	}
 	sort.Slice(es, func(i, j int) bool { return es[i].t.Less(es[j].t) })
 	for _, e := range es {
@@ -162,18 +293,26 @@ func (r *Relation) ForeachSorted(f func(t Tuple, m float64)) {
 	}
 }
 
-// Clone returns a deep copy.
+// Clone returns a deep copy of the relation's contents. Secondary indexes
+// are not cloned; they re-register on demand.
 func (r *Relation) Clone() *Relation {
 	c := NewRelation(r.schema)
-	for k, e := range r.m {
-		c.m[k] = entry{t: e.t.Clone(), m: e.m}
-	}
+	c.hashFn = r.hashFn
+	r.Foreach(func(t Tuple, m float64) {
+		c.insert(t.Clone(), m)
+	})
 	return c
 }
 
-// Clear removes all tuples.
+// Clear removes all tuples, keeping the bucket table's capacity.
+// Registered secondary indexes stay registered (emptied) and keep being
+// maintained on subsequent mutations.
 func (r *Relation) Clear() {
-	clear(r.m)
+	clear(r.tab)
+	r.n = 0
+	for _, ix := range r.idxs {
+		clear(ix.m)
+	}
 }
 
 // Merge adds every tuple of o (bag union in place).
@@ -189,17 +328,19 @@ func (r *Relation) MergeScaled(o *Relation, c float64) {
 // Equal reports whether two relations hold the same tuples with
 // multiplicities equal within Eps.
 func (r *Relation) Equal(o *Relation) bool {
-	if len(r.m) != len(o.m) {
+	if r.n != o.n {
 		return false
 	}
-	for k, e := range r.m {
-		oe, ok := o.m[k]
-		if !ok {
-			return false
-		}
-		d := e.m - oe.m
-		if d < -Eps || d > Eps {
-			return false
+	for _, e := range r.tab {
+		for ; e != nil; e = e.next {
+			oe := o.lookup(e.t)
+			if oe == nil {
+				return false
+			}
+			d := e.m - oe.m
+			if d < -Eps || d > Eps {
+				return false
+			}
 		}
 	}
 	return true
@@ -208,27 +349,28 @@ func (r *Relation) Equal(o *Relation) bool {
 // EqualApprox is Equal with a caller-chosen tolerance, for float-heavy
 // aggregate comparisons.
 func (r *Relation) EqualApprox(o *Relation, tol float64) bool {
-	seen := 0
-	for k, e := range r.m {
-		oe, ok := o.m[k]
-		if !ok {
-			if e.m < -tol || e.m > tol {
+	for _, e := range r.tab {
+		for ; e != nil; e = e.next {
+			oe := o.lookup(e.t)
+			if oe == nil {
+				if e.m < -tol || e.m > tol {
+					return false
+				}
+				continue
+			}
+			d := e.m - oe.m
+			if d < -tol || d > tol {
 				return false
 			}
-			continue
-		}
-		seen++
-		d := e.m - oe.m
-		if d < -tol || d > tol {
-			return false
 		}
 	}
-	for k, oe := range o.m {
-		if _, ok := r.m[k]; !ok && (oe.m < -tol || oe.m > tol) {
-			return false
+	for _, e := range o.tab {
+		for ; e != nil; e = e.next {
+			if r.lookup(e.t) == nil && (e.m < -tol || e.m > tol) {
+				return false
+			}
 		}
 	}
-	_ = seen
 	return true
 }
 
@@ -236,9 +378,7 @@ func (r *Relation) EqualApprox(o *Relation, tol float64) bool {
 // of an aggregate relation with an empty schema).
 func (r *Relation) TotalMult() float64 {
 	var s float64
-	for _, e := range r.m {
-		s += e.m
-	}
+	r.Foreach(func(_ Tuple, m float64) { s += m })
 	return s
 }
 

@@ -91,6 +91,33 @@ func (v Value) Equal(o Value) bool {
 	return v.AsFloat() == o.AsFloat()
 }
 
+// keyEqual reports whether two values are identical under the canonical
+// key encoding (EncodeKey): strings compare exactly; numerics compare
+// through the same float canonicalization the encoder applies, so
+// integers beyond 2^53 collapse to their float value and NaNs compare by
+// bit pattern (reflexively). This is the storage identity of relations
+// and indexes; it differs from Equal only on NaN (where Equal is
+// irreflexive) and on integers Equal distinguishes but the encoding
+// cannot.
+func (v Value) keyEqual(o Value) bool {
+	if v.K == KString || o.K == KString {
+		return v.K == KString && o.K == KString && v.S == o.S
+	}
+	vf, of := v.AsFloat(), o.AsFloat()
+	vi, vInt := int64(vf), false
+	if float64(int64(vf)) == vf {
+		vInt = true
+	}
+	oi, oInt := int64(of), false
+	if float64(int64(of)) == of {
+		oInt = true
+	}
+	if vInt || oInt {
+		return vInt && oInt && vi == oi
+	}
+	return math.Float64bits(vf) == math.Float64bits(of)
+}
+
 // Less reports whether v sorts before o. Numbers sort before strings;
 // mixed numeric kinds compare numerically.
 func (v Value) Less(o Value) bool {
@@ -209,22 +236,114 @@ func (t Tuple) EncodeKey(dst []byte) []byte {
 }
 
 // Key returns the canonical string key for the tuple, suitable as a map key.
+// It allocates; hot paths use Hash/HashCols instead and keep EncodeKey for
+// the wire format.
 func (t Tuple) Key() string { return string(t.EncodeKey(nil)) }
 
-// Hash returns a 64-bit FNV-1a hash of the tuple's canonical encoding.
-func (t Tuple) Hash() uint64 {
-	const (
-		offset64 = 14695981039346656037
-		prime64  = 1099511628211
-	)
-	var scratch [64]byte
-	b := t.EncodeKey(scratch[:0])
-	h := uint64(offset64)
-	for _, c := range b {
-		h ^= uint64(c)
-		h *= prime64
+// Tuple hashing is word-at-a-time multiplicative mixing with a murmur3
+// finalizer: one multiply per numeric column instead of one per encoded
+// byte. The only contract is that Equal tuples hash equal (numeric values
+// are canonicalized exactly as EncodeKey canonicalizes them, so Int(3) and
+// Float(3) agree) — hash-colliding unequal tuples are resolved by the
+// relation's collision chains.
+const (
+	hashSeed     = 14695981039346656037
+	hashMult     = 1099511628211
+	hashTagInt   = 0x9E3779B97F4A7C15
+	hashTagFloat = 0xC2B2AE3D27D4EB4F
+	hashTagStr   = 0x165667B19E3779F9
+)
+
+func mixWord(h, v uint64) uint64 {
+	return (h ^ v) * hashMult
+}
+
+// hashValue folds one value into the running state.
+func hashValue(h uint64, v Value) uint64 {
+	if v.K == KString {
+		s := v.S
+		h = mixWord(h, hashTagStr+uint64(len(s)))
+		for len(s) >= 8 {
+			w := uint64(s[0]) | uint64(s[1])<<8 | uint64(s[2])<<16 | uint64(s[3])<<24 |
+				uint64(s[4])<<32 | uint64(s[5])<<40 | uint64(s[6])<<48 | uint64(s[7])<<56
+			h = mixWord(h, w)
+			s = s[8:]
+		}
+		if len(s) > 0 {
+			var w uint64
+			for i := len(s) - 1; i >= 0; i-- {
+				w = w<<8 | uint64(s[i])
+			}
+			h = mixWord(h, w)
+		}
+		return h
 	}
+	f := v.AsFloat()
+	if i := int64(f); float64(i) == f {
+		return mixWord(h, hashTagInt^uint64(i))
+	}
+	return mixWord(h, hashTagFloat^math.Float64bits(f))
+}
+
+// hashFinish is murmur3's fmix64 avalanche, giving well-mixed bits for
+// bucket selection and worker partitioning.
+func hashFinish(h uint64) uint64 {
+	h ^= h >> 33
+	h *= 0xFF51AFD7ED558CCD
+	h ^= h >> 33
+	h *= 0xC4CEB9FE1A85EC53
+	h ^= h >> 33
 	return h
+}
+
+// Hash returns a 64-bit hash of the tuple consistent with Equal. It never
+// allocates.
+func (t Tuple) Hash() uint64 {
+	h := uint64(hashSeed)
+	for _, v := range t {
+		h = hashValue(h, v)
+	}
+	return hashFinish(h)
+}
+
+// HashCols hashes the projection of t onto the given positions without
+// materializing the sub-tuple: HashCols(pos) == Project(pos).Hash().
+func (t Tuple) HashCols(pos []int) uint64 {
+	h := uint64(hashSeed)
+	for _, j := range pos {
+		h = hashValue(h, t[j])
+	}
+	return hashFinish(h)
+}
+
+// KeyEqual reports whether two tuples are identical under the canonical
+// key encoding — the identity relations and indexes store tuples by.
+// Equivalent to Key() == o.Key() without materializing either key.
+func (t Tuple) KeyEqual(o Tuple) bool {
+	if len(t) != len(o) {
+		return false
+	}
+	for i := range t {
+		if !t[i].keyEqual(o[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// EqualAt reports whether the projection of t onto pos is
+// canonical-key-identical to probe (one value per position, in pos
+// order) — the match rule of index probes, consistent with HashCols.
+func (t Tuple) EqualAt(pos []int, probe Tuple) bool {
+	if len(pos) != len(probe) {
+		return false
+	}
+	for i, j := range pos {
+		if !t[j].keyEqual(probe[i]) {
+			return false
+		}
+	}
+	return true
 }
 
 // Project returns the sub-tuple at the given positions.

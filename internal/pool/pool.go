@@ -193,7 +193,7 @@ func (p *Pool) insert(key mring.Tuple, val float64, h uint64) {
 	rec.next = p.buckets[b]
 	p.buckets[b] = slot
 	for si, idx := range p.second {
-		ih := rec.Key.Project(idx.keyCols).Hash()
+		ih := rec.Key.HashCols(idx.keyCols)
 		ib := ih & idx.mask
 		rec.idxNext[si] = idx.buckets[ib]
 		idx.buckets[ib] = slot
@@ -215,7 +215,7 @@ func (p *Pool) removeRecord(i, prev int32, bucket uint64) {
 	// Unlink from secondary indexes (walk the bucket chain; back
 	// references give us the bucket without re-hashing the full key).
 	for si, idx := range p.second {
-		ih := r.Key.Project(idx.keyCols).Hash()
+		ih := r.Key.HashCols(idx.keyCols)
 		ib := ih & idx.mask
 		if idx.buckets[ib] == i {
 			idx.buckets[ib] = r.idxNext[si]
@@ -253,7 +253,7 @@ func (p *Pool) grow() {
 		r.next = p.buckets[b]
 		p.buckets[b] = int32(i)
 		for si, idx := range p.second {
-			ih := r.Key.Project(idx.keyCols).Hash()
+			ih := r.Key.HashCols(idx.keyCols)
 			ib := ih & idx.mask
 			r.idxNext[si] = idx.buckets[ib]
 			idx.buckets[ib] = int32(i)

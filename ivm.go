@@ -25,6 +25,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/compile"
 	"repro/internal/dist"
+	"repro/internal/eval"
 	"repro/internal/expr"
 	"repro/internal/mring"
 )
@@ -46,6 +47,9 @@ type (
 	Options = compile.Options
 	// Program is a compiled recursive maintenance program.
 	Program = compile.Program
+	// Stats counts evaluation operations (lookups, scans, emits, index
+	// builds) accumulated while maintaining views.
+	Stats = eval.Stats
 )
 
 // Query construction (the algebra of Sec. 3.1).
@@ -175,6 +179,9 @@ func (e *Engine) ApplyBatch(table string, b *Batch) {
 	e.ex.ApplyBatch(table, b.rel)
 }
 
+// Stats returns the evaluation statistics accumulated across batches.
+func (e *Engine) Stats() Stats { return e.ex.Stats }
+
 // LoadTable initializes a base table before streaming (static
 // dimensions); call before any ApplyBatch.
 func (e *Engine) LoadTable(tables map[string]*Batch) {
@@ -259,6 +266,12 @@ func (e *DistributedEngine) ApplyBatch(table string, b *Batch) (cluster.Metrics,
 func (e *DistributedEngine) Result() *Result {
 	return &Result{rel: e.cl.ViewContents(e.name)}
 }
+
+// Stats returns the evaluation statistics accumulated across all nodes
+// (per-worker contributions are merged deterministically after each
+// stage barrier, so the totals are reproducible despite the workers
+// running on concurrent goroutines).
+func (e *DistributedEngine) Stats() Stats { return e.cl.Stats }
 
 // TriggerProgram renders the distributed program for one base table.
 func (e *DistributedEngine) TriggerProgram(table string) string {
