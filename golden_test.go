@@ -1,0 +1,164 @@
+package ivm
+
+// Golden-result gate for the hash-native aggregation path: the TPC-H
+// aggregate queries (Q1-style group-bys) must produce identical results
+// through every execution plane — the single-node Engine, the
+// DistributedEngine at 1, 8, and 16 workers, and a fresh-rebuild oracle
+// that recomputes the query from the accumulated base tables. Run under
+// -race (make test) this also certifies the group tables built on worker
+// goroutines share nothing.
+
+import (
+	"testing"
+
+	"repro/internal/eval"
+	"repro/internal/mring"
+	"repro/internal/tpch"
+)
+
+// goldenStream drives one query's stream through a set of engines in
+// lockstep and returns the accumulated base tables for the oracle.
+func goldenStream(t *testing.T, q tpch.Query, apply func(table string, b *Batch)) map[string]*mring.Relation {
+	t.Helper()
+	gen := tpch.NewGenerator(0.03, 5)
+	accum := map[string]*mring.Relation{}
+	for _, tbl := range q.Tables {
+		if tbl == tpch.Nation || tbl == tpch.Region {
+			accum[tbl] = gen.Static(tbl)
+		} else {
+			accum[tbl] = mring.NewRelation(tpch.Schemas[tbl])
+		}
+	}
+	stream := tpch.NewStream(gen, q.Tables)
+	for {
+		bs := stream.NextBatches(250)
+		if len(bs) == 0 {
+			break
+		}
+		for _, b := range bs {
+			apply(b.Table, &Batch{rel: b.Rel})
+			accum[b.Table].Merge(b.Rel)
+		}
+	}
+	return accum
+}
+
+func TestGoldenAggregatesAcrossEngines(t *testing.T) {
+	workerCounts := []int{1, 8, 16}
+	for _, name := range []string{"Q1", "Q3", "Q6"} {
+		t.Run(name, func(t *testing.T) {
+			q, err := tpch.QueryByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bases := q.BaseSchemas()
+
+			local, err := NewEngine(q.Name, q.Def, bases)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dists := map[int]*DistributedEngine{}
+			for _, w := range workerCounts {
+				if dists[w], err = NewDistributedEngine(q.Name, q.Def, bases, w, tpch.PrimaryKeyRanks); err != nil {
+					t.Fatalf("workers=%d: %v", w, err)
+				}
+			}
+
+			// Static dimensions load the same way everywhere; the stream
+			// then feeds every engine the identical batch sequence.
+			accum := goldenStream(t, q, func(table string, b *Batch) {
+				local.ApplyBatch(table, b)
+				for _, w := range workerCounts {
+					if _, err := dists[w].ApplyBatch(table, b); err != nil {
+						t.Fatalf("workers=%d: %v", w, err)
+					}
+				}
+			})
+
+			// Fresh-rebuild oracle: the query recomputed from scratch over
+			// the accumulated base tables.
+			env := eval.NewEnv()
+			for n, r := range accum {
+				env.Bind(n, r)
+			}
+			oracle := eval.NewCtx(env).Materialize(q.Def)
+
+			want := local.Result().rel
+			if !want.EqualApprox(oracle, 1e-6) {
+				t.Fatalf("Engine diverges from rebuild oracle\n got (%d groups) %v\nwant (%d groups) %v",
+					want.Len(), want, oracle.Len(), oracle)
+			}
+			for _, w := range workerCounts {
+				got := dists[w].Result().rel
+				if got.Len() != want.Len() {
+					t.Fatalf("workers=%d: %d groups, Engine has %d", w, got.Len(), want.Len())
+				}
+				if !got.EqualApprox(want, 1e-6) {
+					t.Fatalf("workers=%d diverged from Engine\n got %v\nwant %v", w, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestGoldenDistributedDeterminism pins the merge-order guarantee: two
+// distributed deployments fed the identical stream produce bitwise-equal
+// group values, because per-worker group tables always merge in
+// worker-index order (goroutine completion order never influences the
+// result).
+func TestGoldenDistributedDeterminism(t *testing.T) {
+	q, err := tpch.QueryByName("Q1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bases := q.BaseSchemas()
+	run := func() *mring.Relation {
+		d, err := NewDistributedEngine(q.Name, q.Def, bases, 8, tpch.PrimaryKeyRanks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		goldenStream(t, q, func(table string, b *Batch) {
+			if _, err := d.ApplyBatch(table, b); err != nil {
+				t.Fatal(err)
+			}
+		})
+		return d.Result().rel
+	}
+	a, b := run(), run()
+	if a.Len() != b.Len() {
+		t.Fatalf("runs differ in group count: %d vs %d", a.Len(), b.Len())
+	}
+	a.Foreach(func(tp mring.Tuple, m float64) {
+		if got := b.Get(tp); got != m {
+			t.Fatalf("distributed result not bitwise reproducible: %v -> %g vs %g", tp, m, got)
+		}
+	})
+}
+
+// TestGoldenQ1GroupDomain is the literal golden check for the Q1-style
+// aggregate: the pricing-summary group domain is the cross product of
+// return flags and line statuses the generator emits, and every group
+// value must be strictly positive (sums of quantities).
+func TestGoldenQ1GroupDomain(t *testing.T) {
+	q, err := tpch.QueryByName("Q1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := NewEngine(q.Name, q.Def, q.BaseSchemas())
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldenStream(t, q, func(table string, b *Batch) { local.ApplyBatch(table, b) })
+	res := local.Result()
+	if res.Len() == 0 {
+		t.Fatal("Q1 produced no groups")
+	}
+	res.Foreach(func(tp Tuple, agg float64) {
+		if len(tp) != 2 {
+			t.Fatalf("Q1 group arity %d, want 2 (returnflag, linestatus): %v", len(tp), tp)
+		}
+		if agg <= 0 {
+			t.Errorf("Q1 group %v has non-positive quantity sum %g", tp, agg)
+		}
+	})
+}

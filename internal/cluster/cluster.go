@@ -369,11 +369,11 @@ func (c *Cluster) runStmtOn(n *node, s dist.Stmt) eval.Stats {
 	})
 	target := n.rel(s.LHS, c.schemas[s.LHS])
 	ctx := eval.NewCtx(env)
-	tmp := ctx.Materialize(s.RHS)
-	if s.Op == eval.OpSet {
-		target.Clear()
-	}
-	target.Merge(tmp)
+	// FoldStmt runs aggregate statements (pre-aggregations and view
+	// maintenance) through a per-worker hash-native group table over the
+	// node's own fragments; the tables stay worker-local here and meet
+	// only in applyXform's gather, in worker-index order.
+	ctx.FoldStmt(target, s.Op, s.RHS)
 	return ctx.Stats
 }
 
@@ -464,8 +464,13 @@ func (c *Cluster) applyXform(lhs string, x *dist.Xform, prog *dist.DistProgram) 
 		_ = srcLoc
 		return total, maxPer, nil
 	default: // Gather
-		dst := c.driver.rel(lhs, lhsSchema)
-		dst.Clear()
+		// The workers' pre-aggregated fragments merge into one group
+		// table strictly in worker-index order, so the driver replays the
+		// same float additions in the same sequence on every run — the
+		// gathered result is deterministic despite the workers having
+		// computed their fragments concurrently. The table then
+		// blind-fills the driver view with its stored hashes.
+		gt := mring.NewGroupTable(srcSchema)
 		for _, w := range c.workers {
 			frag := w.rel(srcName, srcSchema)
 			if frag.Len() == 0 {
@@ -476,8 +481,11 @@ func (c *Cluster) applyXform(lhs string, x *dist.Xform, prog *dist.DistProgram) 
 			if sz > maxPer {
 				maxPer = sz
 			}
-			dst.Merge(frag)
+			gt.MergeRelation(frag)
 		}
+		dst := c.driver.rel(lhs, lhsSchema)
+		dst.Clear()
+		gt.FillRelation(dst)
 		return total, maxPer, nil
 	}
 }

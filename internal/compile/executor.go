@@ -124,16 +124,13 @@ func (ex *Executor) runTrigger(trg *Trigger, rel string, batch *mring.Relation) 
 	ctx := eval.NewCtx(ex.env)
 	ctx.Tracer = ex.Tracer
 	for _, s := range trg.Stmts {
-		target := ex.views[s.LHS]
-		// Materialize the RHS before mutating the target so that
-		// self-references observe a consistent pre-statement state. The
-		// views' secondary indexes are maintained incrementally by the
-		// Merge below, so no invalidation is needed between statements.
-		tmp := ctx.Materialize(s.RHS)
-		if s.Op == eval.OpSet {
-			target.Clear()
-		}
-		target.Merge(tmp)
+		// FoldStmt materializes the RHS before the target mutates (so
+		// self-references observe a consistent pre-statement state) and
+		// routes aggregate statements through the hash-native group
+		// table; the views' secondary indexes are maintained
+		// incrementally by the folds, so no invalidation is needed
+		// between statements.
+		ctx.FoldStmt(ex.views[s.LHS], s.Op, s.RHS)
 	}
 	ex.Stats.Add(ctx.Stats)
 }

@@ -136,6 +136,9 @@ type Ctx struct {
 	// Tracer, when non-nil, observes every relation memory touch for the
 	// cache-locality experiment.
 	Tracer func(rel string, tupleHash uint64)
+	// groupHash overrides group-table key hashing in tests (forcing
+	// collision chains on the aggregation path); nil means Tuple.Hash.
+	groupHash func(mring.Tuple) uint64
 }
 
 // NewCtx returns a fresh evaluation context over env.
@@ -319,34 +322,32 @@ func (c *Ctx) evalSliceScan(r *expr.Rel, rel *mring.Relation, b *Binding, boundC
 	}
 }
 
-// evalAgg materializes Sum_[gb](body): groups body results by the group-by
-// columns and emits one tuple per group with the summed multiplicity.
-func (c *Ctx) evalAgg(a *expr.Agg, b *Binding, emit func(m float64)) {
-	bodySchema := a.Body.Schema()
-	gbPresent := make([]bool, len(a.GroupBy))
-	for i, col := range a.GroupBy {
-		gbPresent[i] = bodySchema.Contains(col)
+// aggGroups evaluates Sum_[gb](body) under b into a hash-native group
+// table: one streaming hash probe per produced tuple through a reused key
+// buffer — no string keys, no per-emit tuple allocation. Groups whose
+// ring value cancels to zero are removed inside the table (Relation.Add
+// semantics), so canceled groups never reach emission or downstream
+// views.
+func (c *Ctx) aggGroups(a *expr.Agg, b *Binding) *mring.GroupTable {
+	gt := mring.NewGroupTable(mring.Schema(a.GroupBy))
+	if c.groupHash != nil {
+		gt.SetHashFnForTest(c.groupHash)
 	}
-	type group struct {
-		t mring.Tuple
-		m float64
-	}
-	groups := make(map[string]*group)
-	order := []string{}
+	key := make(mring.Tuple, len(a.GroupBy))
 	c.Eval(a.Body, b, func(m float64) {
-		t := make(mring.Tuple, len(a.GroupBy))
 		for i, col := range a.GroupBy {
-			t[i] = b.Lookup(col)
+			key[i] = b.Lookup(col)
 		}
-		k := t.Key()
-		g, ok := groups[k]
-		if !ok {
-			g = &group{t: t}
-			groups[k] = g
-			order = append(order, k)
-		}
-		g.m += m
+		gt.Add(key, m)
 	})
+	return gt
+}
+
+// evalAgg materializes Sum_[gb](body): groups body results by the group-by
+// columns in a hash-native group table and emits one tuple per live group
+// with the accumulated multiplicity, in first-insertion order.
+func (c *Ctx) evalAgg(a *expr.Agg, b *Binding, emit func(m float64)) {
+	gt := c.aggGroups(a, b)
 	var wasBound []int
 	var savedVals []mring.Value
 	for i, col := range a.GroupBy {
@@ -355,17 +356,13 @@ func (c *Ctx) evalAgg(a *expr.Agg, b *Binding, emit func(m float64)) {
 			savedVals = append(savedVals, v)
 		}
 	}
-	for _, k := range order {
-		g := groups[k]
-		if g.m > -mring.Eps && g.m < mring.Eps {
-			continue
-		}
+	gt.Foreach(func(t mring.Tuple, m float64) {
 		for i, col := range a.GroupBy {
-			b.set(col, g.t[i])
+			b.set(col, t[i])
 		}
 		c.Stats.Emits++
-		emit(g.m)
-	}
+		emit(m)
+	})
 	for _, col := range a.GroupBy {
 		b.unset(col)
 	}
@@ -454,9 +451,30 @@ func (c *Ctx) bindLifted(v string, val mring.Value, b *Binding, emit func(m floa
 func (c *Ctx) evalExists(e *expr.Exists, b *Binding, emit func(m float64)) {
 	s := e.Body.Schema()
 	if len(s) == 0 {
+		// Inline single-group accumulator with the group table's
+		// in-table cancellation semantics, bit for bit: zero
+		// contributions are skipped, a fresh contribution starts the
+		// group (tiny values survive), and accumulating into
+		// (-Eps, Eps) cancels it. Scalar Exists thereby agrees with
+		// the grouped shape (TestExistsScalarMatchesGrouped pins the
+		// agreement) without allocating a table on this per-binding
+		// path.
 		var total float64
-		c.Eval(e.Body, b, func(m float64) { total += m })
-		if total < -mring.Eps || total > mring.Eps {
+		alive := false
+		c.Eval(e.Body, b, func(m float64) {
+			if m == 0 {
+				return
+			}
+			if !alive {
+				total, alive = m, true
+				return
+			}
+			total += m
+			if total > -mring.Eps && total < mring.Eps {
+				alive = false
+			}
+		})
+		if alive {
 			c.Stats.Emits++
 			emit(1)
 		}
@@ -490,8 +508,16 @@ func (c *Ctx) evalExists(e *expr.Exists, b *Binding, emit func(m float64)) {
 	}
 }
 
-// evalToRelation materializes e under the current binding.
+// evalToRelation materializes e under the current binding. Aggregates
+// take the hash-native fast path: the group table converts straight into
+// a relation with its stored hashes, skipping the bind/emit/re-hash round
+// trip through the generic path.
 func (c *Ctx) evalToRelation(e expr.Expr, b *Binding) *mring.Relation {
+	if a, ok := e.(*expr.Agg); ok {
+		gt := c.aggGroups(a, b)
+		c.Stats.Emits += int64(gt.Len())
+		return gt.ToRelation()
+	}
 	s := e.Schema()
 	out := mring.NewRelation(s)
 	c.Eval(e, b, func(m float64) {
@@ -504,6 +530,43 @@ func (c *Ctx) evalToRelation(e expr.Expr, b *Binding) *mring.Relation {
 // whose schema is e.Schema().
 func (c *Ctx) Materialize(e expr.Expr) *mring.Relation {
 	return c.evalToRelation(e, NewBinding())
+}
+
+// MaterializeGroups evaluates an aggregate with no outer bindings into a
+// hash-native group table. Executors fold the table straight into target
+// views (AppendTo/FillRelation), reusing its hashes instead of rebuilding
+// a scratch relation.
+func (c *Ctx) MaterializeGroups(a *expr.Agg) *mring.GroupTable {
+	gt := c.aggGroups(a, NewBinding())
+	c.Stats.Emits += int64(gt.Len())
+	return gt
+}
+
+// FoldStmt evaluates rhs with no outer bindings and folds it into target
+// under op — the one statement fold shared by the local executor and the
+// cluster workers. A top-level aggregate (every pre-aggregation
+// statement and most maintenance statements) evaluates into a
+// hash-native group table and folds with its stored hashes: OpSet
+// blind-fills the cleared target, OpAdd accumulates group deltas. Any
+// other shape materializes a scratch relation and merges. The RHS is
+// fully materialized before target mutates, so self-references observe a
+// consistent pre-statement state.
+func (c *Ctx) FoldStmt(target *mring.Relation, op AssignOp, rhs expr.Expr) {
+	if a, ok := rhs.(*expr.Agg); ok {
+		gt := c.MaterializeGroups(a)
+		if op == OpSet {
+			target.Clear()
+			gt.FillRelation(target)
+		} else {
+			gt.AppendTo(target)
+		}
+		return
+	}
+	tmp := c.Materialize(rhs)
+	if op == OpSet {
+		target.Clear()
+	}
+	target.Merge(tmp)
 }
 
 // EvalIntoOp applies op to target for every tuple produced by e.
@@ -522,19 +585,14 @@ func (op AssignOp) String() string {
 	return ":="
 }
 
-// Apply evaluates e and folds it into target using op. For OpSet the
-// target is cleared first. Target's schema must match e's output schema
+// Apply evaluates e and folds it into target using op: an arity-checked
+// wrapper over FoldStmt, so view initialization and the trigger
+// statements share one fold (materialize-first, group-table fast path
+// for aggregates). Target's schema must match e's output schema
 // column-for-column (by position; names may differ for views).
 func (c *Ctx) Apply(target *mring.Relation, op AssignOp, e expr.Expr) {
-	if op == OpSet {
-		target.Clear()
+	if len(e.Schema()) != len(target.Schema()) {
+		panic(fmt.Sprintf("eval: schema arity mismatch applying %v to %v", e.Schema(), target.Schema()))
 	}
-	s := e.Schema()
-	if len(s) != len(target.Schema()) {
-		panic(fmt.Sprintf("eval: schema arity mismatch applying %v to %v", s, target.Schema()))
-	}
-	b := NewBinding()
-	c.Eval(e, b, func(m float64) {
-		target.Add(b.Tuple(s), m)
-	})
+	c.FoldStmt(target, op, e)
 }

@@ -160,6 +160,48 @@ func TestEvalExistsDistinct(t *testing.T) {
 	}
 }
 
+// TestExistsScalarMatchesGrouped pins the Eps-semantics agreement
+// between the two Exists shapes: a tiny never-canceled total (|v| < Eps
+// but inserted fresh, which the group table preserves) must exist both
+// when the aggregate is keyed by a group-by column and when it is
+// scalar, and a total canceled by accumulation into (-Eps, Eps) must
+// exist in neither.
+func TestExistsScalarMatchesGrouped(t *testing.T) {
+	env := NewEnv()
+	r := mring.NewRelation(mring.Schema{"A"})
+	r.Add(mring.Tuple{mring.Int(1)}, 1e-12)
+	env.Bind("R", r)
+
+	grouped := NewCtx(env).Materialize(
+		expr.ExistsE(expr.Sum([]string{"A"}, expr.Base("R", "A"))))
+	scalar := NewCtx(env).Materialize(
+		expr.ExistsE(expr.Sum(nil, expr.Base("R", "A"))))
+	if grouped.Len() != 1 {
+		t.Fatalf("grouped Exists over tiny total: %d rows, want 1", grouped.Len())
+	}
+	if scalar.Len() != 1 {
+		t.Fatalf("scalar Exists over tiny total: %d rows, want 1 (must match grouped)", scalar.Len())
+	}
+
+	// Scalar contributions that cancel inside the Exists accumulation —
+	// two emissions from distinct relations whose sum lands in
+	// (-Eps, Eps) — leave a float residue under plain summation (1e-15
+	// here) but must cancel to nonexistence under the shared in-table
+	// band semantics.
+	pos := mring.NewRelation(mring.Schema{"A"})
+	pos.Add(mring.Tuple{mring.Int(1)}, 1.0)
+	env.Bind("P", pos)
+	neg := mring.NewRelation(mring.Schema{"A"})
+	neg.Add(mring.Tuple{mring.Int(1)}, -1.0+1e-15)
+	env.Bind("N", neg)
+	pair := NewCtx(env).Materialize(expr.ExistsE(expr.Add(
+		expr.Sum(nil, expr.Base("P", "A")),
+		expr.Sum(nil, expr.Base("N", "A")))))
+	if pair.Len() != 0 {
+		t.Fatalf("scalar Exists over band-canceled pair: %d rows, want 0", pair.Len())
+	}
+}
+
 func TestEvalExistentialQuantification(t *testing.T) {
 	// EXISTS variant: (X := Qn) ⋈ (X != 0)
 	env := NewEnv()

@@ -1,0 +1,115 @@
+package mring
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// fuzzValue decodes one Value from the fuzz input: a kind selector byte
+// followed by 8 raw bytes (ints and float bit patterns share the same 8
+// bytes so the fuzzer can mutate one into the other; strings take a short
+// prefix of them).
+func fuzzValue(data []byte) (Value, []byte, bool) {
+	if len(data) < 9 {
+		return Value{}, nil, false
+	}
+	sel, raw := data[0], data[1:9]
+	w := binary.LittleEndian.Uint64(raw)
+	rest := data[9:]
+	switch sel % 4 {
+	case 0:
+		return Int(int64(w)), rest, true
+	case 1:
+		return Float(math.Float64frombits(w)), rest, true
+	case 2:
+		// Small ints double as int/float cross-kind collision bait.
+		return Float(float64(int64(w) % 1024)), rest, true
+	default:
+		return Str(string(raw[:int(sel)%9])), rest, true
+	}
+}
+
+func fuzzTuple(data []byte, arity int) (Tuple, []byte, bool) {
+	t := make(Tuple, arity)
+	for i := range t {
+		var ok bool
+		t[i], data, ok = fuzzValue(data)
+		if !ok {
+			return nil, nil, false
+		}
+	}
+	return t, data, true
+}
+
+// FuzzHashColsKeyEqual fuzzes the storage-identity contract between the
+// canonical key encoding, KeyEqual/EqualAt, and Hash/HashCols: any two
+// tuples with equal canonical keys must compare equal and hash equal,
+// under the full tuple and under every column subset. Aggregation keys
+// groups by exactly these operations, so a violation would split or merge
+// groups relative to the string-keyed reference.
+func FuzzHashColsKeyEqual(f *testing.F) {
+	le := binary.LittleEndian
+	b8 := func(w uint64) []byte {
+		var b [8]byte
+		le.PutUint64(b[:], w)
+		return b[:]
+	}
+	// Seeds: identical int/float pairs, NaN, 2^53 neighbors, strings.
+	f.Add(append([]byte{2, 0}, bytes.Repeat(append([]byte{0}, b8(7)...), 4)...))
+	f.Add(append([]byte{1, 1}, append(append([]byte{1}, b8(math.Float64bits(math.NaN()))...),
+		append([]byte{1}, b8(math.Float64bits(math.NaN()))...)...)...))
+	f.Add(append([]byte{1, 1}, append(append([]byte{0}, b8(uint64(int64(1)<<53))...),
+		append([]byte{0}, b8(uint64(int64(1)<<53+1))...)...)...))
+	f.Add(append([]byte{2, 3}, bytes.Repeat(append([]byte{7}, []byte("grpkey00")...), 4)...))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			return
+		}
+		arity := int(data[0])%3 + 1
+		subsetSel := data[1]
+		t1, rest, ok := fuzzTuple(data[2:], arity)
+		if !ok {
+			return
+		}
+		t2, _, ok := fuzzTuple(rest, arity)
+		if !ok {
+			return
+		}
+
+		// Full-tuple contract: KeyEqual ⇔ canonical keys equal, and equal
+		// keys hash equal.
+		keysEq := string(t1.EncodeKey(nil)) == string(t2.EncodeKey(nil))
+		if got := t1.KeyEqual(t2); got != keysEq {
+			t.Fatalf("KeyEqual=%v but key-encoding equality=%v\n t1=%v\n t2=%v", got, keysEq, t1, t2)
+		}
+		if keysEq && t1.Hash() != t2.Hash() {
+			t.Fatalf("equal canonical keys hash differently\n t1=%v (%#x)\n t2=%v (%#x)",
+				t1, t1.Hash(), t2, t2.Hash())
+		}
+
+		// Column-subset contract, for the subset drawn from the selector:
+		// HashCols must equal the projection's Hash, and EqualAt must
+		// agree with the projections' key equality — the exact operations
+		// group tables and secondary indexes key by.
+		var pos []int
+		for i := 0; i < arity; i++ {
+			if subsetSel&(1<<i) != 0 {
+				pos = append(pos, i)
+			}
+		}
+		p1, p2 := t1.Project(pos), t2.Project(pos)
+		if t1.HashCols(pos) != p1.Hash() {
+			t.Fatalf("HashCols(%v) != Project(%v).Hash() for %v", pos, pos, t1)
+		}
+		projEq := string(p1.EncodeKey(nil)) == string(p2.EncodeKey(nil))
+		if got := t1.EqualAt(pos, p2); got != projEq {
+			t.Fatalf("EqualAt(%v)=%v but projected key equality=%v\n t1=%v\n t2=%v", pos, got, projEq, t1, t2)
+		}
+		if projEq && t1.HashCols(pos) != t2.HashCols(pos) {
+			t.Fatalf("equal projected keys hash differently under HashCols(%v)\n t1=%v\n t2=%v", pos, t1, t2)
+		}
+	})
+}

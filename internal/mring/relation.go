@@ -213,10 +213,15 @@ func (r *Relation) insert(t Tuple, m float64) {
 // Add adds m to the multiplicity of tuple t, inserting or deleting as
 // needed. The tuple is copied; callers may reuse t.
 func (r *Relation) Add(t Tuple, m float64) {
+	r.addHashed(r.hash(t), t, m)
+}
+
+// addHashed is Add under a precomputed hash (which must equal r.hash(t));
+// group tables reuse their stored hashes through it.
+func (r *Relation) addHashed(h uint64, t Tuple, m float64) {
 	if m == 0 {
 		return
 	}
-	h := r.hash(t)
 	if r.tab != nil {
 		for e := r.tab[h&r.mask]; e != nil; e = e.next {
 			if e.h == h && e.t.KeyEqual(t) {

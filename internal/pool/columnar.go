@@ -134,6 +134,61 @@ func (b *ColBatch) FilterInt(col string, keep func(int64) bool) *ColBatch {
 	return out
 }
 
+// GroupHashes computes the canonical key hash of every row's projection
+// onto the column positions pos — the column-wise group-hash kernel: each
+// column folds into all row hash states in one pass over its contiguous
+// value array, so scan-heavy pre-aggregation touches memory columnar
+// instead of materializing row tuples. The result matches the row-wise
+// mring.Tuple.HashCols of the same values exactly.
+func (b *ColBatch) GroupHashes(pos []int) []uint64 {
+	hs := make([]uint64, b.Len())
+	for i := range hs {
+		hs[i] = mring.HashInit()
+	}
+	for _, j := range pos {
+		c := &b.Cols[j]
+		switch c.Kind {
+		case mring.KInt:
+			for i, v := range c.Ints {
+				hs[i] = mring.HashInt64(hs[i], v)
+			}
+		case mring.KFloat:
+			for i, v := range c.Flts {
+				hs[i] = mring.HashFloat64(hs[i], v)
+			}
+		default:
+			for i, s := range c.Strs {
+				hs[i] = mring.HashStr(hs[i], s)
+			}
+		}
+	}
+	for i := range hs {
+		hs[i] = mring.HashFinish(hs[i])
+	}
+	return hs
+}
+
+// GroupSum pre-aggregates the batch into a hash-native group table over
+// cols: row hashes come from the columnar kernel, and each row feeds the
+// table pre-hashed through a reused key buffer (cloned only when a group
+// is new). Multiplicities accumulate in row order with the data model's
+// in-table zero cancellation. Wire-batch decode (ToRelation, reached
+// from checkpoint restore) runs through it; columnar worker state
+// (ROADMAP) would put it on scan-heavy pre-aggregation stages.
+func (b *ColBatch) GroupSum(cols []string) *mring.GroupTable {
+	pos := b.Schema.Positions(cols)
+	hs := b.GroupHashes(pos)
+	gt := mring.NewGroupTable(mring.Schema(cols))
+	key := make(mring.Tuple, len(pos))
+	for i, m := range b.Mults {
+		for j, p := range pos {
+			key[j] = b.Cols[p].value(i)
+		}
+		gt.AddPrehashed(hs[i], key, m)
+	}
+	return gt
+}
+
 // FromRelation converts row-format contents to columnar form. Column
 // kinds are taken from the first tuple; empty relations produce int
 // columns.
@@ -153,11 +208,12 @@ func FromRelation(r *mring.Relation) *ColBatch {
 	return b
 }
 
-// ToRelation converts back to row format, merging duplicate tuples.
+// ToRelation converts back to row format, merging duplicate tuples. The
+// shuffle-decode hot path runs through the columnar group kernel: rows are
+// hashed column-wise and the group table converts into the relation with
+// its stored hashes, never re-hashing tuple-at-a-time.
 func (b *ColBatch) ToRelation() *mring.Relation {
-	r := mring.NewRelation(b.Schema)
-	b.Foreach(func(t mring.Tuple, m float64) { r.Add(t, m) })
-	return r
+	return b.GroupSum(b.Schema).ToRelation()
 }
 
 // Encode serializes the batch into a compact binary columnar layout. The

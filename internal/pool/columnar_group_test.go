@@ -1,0 +1,80 @@
+package pool
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/mring"
+)
+
+// randomGroupBatch builds a batch over (int, string, float) columns with
+// a small value domain so groups repeat, plus NaN and >2^53 edge values.
+func randomGroupBatch(rng *rand.Rand, rows int) *ColBatch {
+	schema := mring.Schema{"k", "name", "v"}
+	kinds := []mring.Kind{mring.KInt, mring.KString, mring.KFloat}
+	b := NewColBatch(schema, kinds)
+	for i := 0; i < rows; i++ {
+		k := int64(rng.Intn(6))
+		if rng.Intn(16) == 0 {
+			k = (int64(1) << 53) + int64(rng.Intn(2))
+		}
+		v := float64(rng.Intn(4))
+		if rng.Intn(16) == 0 {
+			v = math.NaN()
+		}
+		b.Append(mring.Tuple{
+			mring.Int(k),
+			mring.Str(fmt.Sprintf("g%d", rng.Intn(3))),
+			mring.Float(v),
+		}, float64(rng.Intn(7)-3))
+	}
+	return b
+}
+
+// TestGroupHashesMatchRowWise pins the columnar kernel to the row-wise
+// hash: every row, every column subset.
+func TestGroupHashesMatchRowWise(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	b := randomGroupBatch(rng, 200)
+	for _, pos := range [][]int{{0}, {1}, {2}, {0, 1}, {0, 2}, {1, 2}, {0, 1, 2}, {}} {
+		hs := b.GroupHashes(pos)
+		for i := range b.Mults {
+			row, _ := b.Row(i)
+			if want := row.HashCols(pos); hs[i] != want {
+				t.Fatalf("pos %v row %d (%v): columnar hash %#x, row-wise %#x", pos, i, row, hs[i], want)
+			}
+		}
+	}
+}
+
+// TestGroupSumMatchesRelationProjectSum checks the columnar
+// pre-aggregation against the row-oriented reference path.
+func TestGroupSumMatchesRelationProjectSum(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		b := randomGroupBatch(rng, 300)
+		// Reference: row-at-a-time accumulation then projection-sum.
+		ref := mring.NewRelation(b.Schema)
+		b.Foreach(func(tp mring.Tuple, m float64) { ref.Add(tp.Clone(), m) })
+		for _, cols := range [][]string{{"k"}, {"name"}, {"k", "name"}, {"k", "name", "v"}} {
+			got := b.GroupSum(cols).ToRelation()
+			want := ref.ProjectSum(cols)
+			if !got.Equal(want) {
+				t.Fatalf("seed %d cols %v:\n got %v\nwant %v", seed, cols, got, want)
+			}
+		}
+	}
+}
+
+// TestToRelationColumnarMatchesRowPath guards the rewritten decode path.
+func TestToRelationColumnarMatchesRowPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	b := randomGroupBatch(rng, 250)
+	want := mring.NewRelation(b.Schema)
+	b.Foreach(func(tp mring.Tuple, m float64) { want.Add(tp.Clone(), m) })
+	if got := b.ToRelation(); !got.Equal(want) {
+		t.Fatalf("columnar ToRelation diverges:\n got %v\nwant %v", got, want)
+	}
+}
