@@ -12,7 +12,7 @@ PR ?= 4
 # file, so self-diffing BENCH_4 against its committed copy is sound.
 BENCH_BASELINE ?= BENCH_4.json
 
-.PHONY: build test lint bench bench-json ci
+.PHONY: build test lint bench bench-json api check-api ci
 
 build:
 	$(GO) build ./...
@@ -28,6 +28,17 @@ lint:
 bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x . ./internal/bench/
 
+# api regenerates the golden public-API surface file. Run it whenever
+# the exported surface of the root package changes on purpose.
+api:
+	$(GO) doc -all . > API.txt
+
+# check-api fails when the exported surface drifted without the golden
+# being regenerated, so API changes are always deliberate.
+check-api:
+	@$(GO) doc -all . | diff -u API.txt - || { \
+		echo "exported API surface changed: run 'make api' and commit API.txt" >&2; exit 1; }
+
 # bench-json runs the representative tier-2 measurements, records them in
 # BENCH_$(PR).json (query, batch size, tuples/sec, shuffled bytes), and
 # diffs the tracked microbenchmark speedup ratios against
@@ -37,6 +48,6 @@ bench:
 bench-json:
 	$(GO) run ./cmd/benchjson -pr $(PR) -out BENCH_$(PR).json -baseline $(BENCH_BASELINE)
 
-ci: lint build test
+ci: lint build test check-api
 	@$(MAKE) bench || echo "warning: benchmark smoke pass failed"
 	@$(MAKE) bench-json

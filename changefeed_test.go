@@ -1,0 +1,318 @@
+package ivm
+
+// Changefeed gate: Subscribe must deliver the exact per-transaction
+// result deltas on both backends, gathered deterministically on the
+// distributed path (per-worker contributions merge in worker-index
+// order). Replaying the delta stream into an empty relation must
+// reconstruct Result(); with integral data the streams are
+// bitwise-identical across the local engine and 1/8/16 workers — every
+// capture path (driver-maintained, replicated, worker-partitioned top
+// views) is covered. Run under -race (make test) this also certifies
+// the per-worker delta sinks share nothing.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/mring"
+	"repro/internal/tpch"
+)
+
+// replayer accumulates a delta stream and checks it reconstructs the
+// engine result.
+type replayer struct {
+	rel     *mring.Relation
+	stream  []string
+	lastSeq int64
+}
+
+func subscribeReplay(t *testing.T, e *Engine) *replayer {
+	t.Helper()
+	rp := &replayer{rel: mring.NewRelation(e.Result().rel.Schema())}
+	e.Subscribe(func(d Delta) {
+		if d.Seq != rp.lastSeq+1 {
+			t.Fatalf("delta sequence skipped: %d after %d", d.Seq, rp.lastSeq)
+		}
+		rp.lastSeq = d.Seq
+		d.Foreach(func(tp Tuple, change float64) { rp.rel.Add(tp, change) })
+		rp.stream = append(rp.stream, d.String())
+	})
+	return rp
+}
+
+// intStream feeds every engine an identical deterministic stream of
+// integer-valued transactions over R(a,k), S(k,c) — inserts and
+// deletes — so all aggregate arithmetic is exact and delta streams can
+// be compared bitwise across backends and worker counts.
+func intStream(t *testing.T, engines []*Engine) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(11))
+	for round := 0; round < 12; round++ {
+		br := NewBatch(Schema{"a", "k"})
+		bs := NewBatch(Schema{"k", "c"})
+		for i := 0; i < 40; i++ {
+			if err := br.Insert(Row(rng.Intn(200), rng.Intn(8))); err != nil {
+				t.Fatal(err)
+			}
+			if err := bs.Insert(Row(rng.Intn(8), rng.Intn(50))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if round%3 == 2 {
+			// Retract a slice of what round round-2 inserted (same rng
+			// stream for every engine, so retractions line up).
+			if err := br.Delete(Row(rng.Intn(200), rng.Intn(8))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, e := range engines {
+			tx := e.NewTx()
+			tx.Put("R", &Batch{rel: br.rel.Clone()})
+			tx.Put("S", &Batch{rel: bs.rel.Clone()})
+			if err := e.Apply(tx); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// TestChangefeedBitwiseAcrossWorkers drives one query shape per
+// top-view placement (worker-partitioned, driver-local scalar,
+// replicated) through the local backend and 1/8/16 workers: the
+// subscribed delta streams must be bitwise identical everywhere, and
+// replaying any stream must reconstruct that engine's Result exactly.
+func TestChangefeedBitwiseAcrossWorkers(t *testing.T) {
+	join := Join(Table("R", "a", "k"), Table("S", "k", "c"))
+	bases := map[string]Schema{"R": {"a", "k"}, "S": {"k", "c"}}
+	cases := []struct {
+		name  string
+		query Expr
+		ranks map[string]int
+	}{
+		// Group key k ranked: the top view partitions across workers.
+		{"partitioned", Sum([]string{"k"}, join), map[string]int{"a": 3, "k": 2}},
+		// Scalar result: the top view lives at the driver.
+		{"driver-local", Sum(nil, join), map[string]int{"a": 3, "k": 2}},
+		// Group key unranked: the top view replicates on every worker.
+		{"replicated", Sum([]string{"k"}, join), map[string]int{"a": 3}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			local, err := New("Q", tc.query, bases)
+			if err != nil {
+				t.Fatal(err)
+			}
+			engines := []*Engine{local}
+			for _, w := range []int{1, 8, 16} {
+				d, err := New("Q", tc.query, bases, Distributed(w), KeyRanks(tc.ranks))
+				if err != nil {
+					t.Fatalf("workers=%d: %v", w, err)
+				}
+				engines = append(engines, d)
+			}
+			replays := make([]*replayer, len(engines))
+			for i, e := range engines {
+				replays[i] = subscribeReplay(t, e)
+			}
+
+			intStream(t, engines)
+
+			want := replays[0]
+			labels := []string{"local", "w=1", "w=8", "w=16"}
+			for i, rp := range replays {
+				if len(rp.stream) != len(want.stream) {
+					t.Fatalf("%s delivered %d deltas, local delivered %d",
+						labels[i], len(rp.stream), len(want.stream))
+				}
+				for j := range rp.stream {
+					if rp.stream[j] != want.stream[j] {
+						t.Fatalf("%s delta %d not bitwise identical to local\n got %s\nwant %s",
+							labels[i], j, rp.stream[j], want.stream[j])
+					}
+				}
+				// Replay reconstructs this engine's result exactly.
+				res := engines[i].Result().rel
+				if rp.rel.Len() != res.Len() {
+					t.Fatalf("%s: replay has %d groups, result %d\nreplay %v\nresult %v",
+						labels[i], rp.rel.Len(), res.Len(), rp.rel, res)
+				}
+				res.Foreach(func(tp mring.Tuple, m float64) {
+					if got := rp.rel.Get(tp); got != m {
+						t.Fatalf("%s: replayed %v -> %g, result has %g", labels[i], tp, got, m)
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestChangefeedReplayReconstructsTPCH replays the Q1/Q3/Q6 delta
+// streams — float-valued aggregates through every top-view placement
+// the TPC-H partitioning produces — and checks the replay matches
+// Result within float tolerance for the Engine and the distributed
+// backend at 1/8/16 workers.
+func TestChangefeedReplayReconstructsTPCH(t *testing.T) {
+	for _, name := range []string{"Q1", "Q3", "Q6"} {
+		t.Run(name, func(t *testing.T) {
+			q, err := tpch.QueryByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bases := q.BaseSchemas()
+			engines := []*Engine{}
+			labels := []string{}
+			local, err := New(q.Name, q.Def, bases)
+			if err != nil {
+				t.Fatal(err)
+			}
+			engines, labels = append(engines, local), append(labels, "local")
+			for _, w := range []int{1, 8, 16} {
+				d, err := New(q.Name, q.Def, bases, Distributed(w), KeyRanks(tpch.PrimaryKeyRanks))
+				if err != nil {
+					t.Fatal(err)
+				}
+				engines, labels = append(engines, d), append(labels, fmt.Sprintf("w=%d", w))
+			}
+			replays := make([]*replayer, len(engines))
+			for i, e := range engines {
+				replays[i] = subscribeReplay(t, e)
+			}
+
+			goldenStream(t, q, func(table string, b *Batch) {
+				for _, e := range engines {
+					if err := e.ApplyBatch(table, b); err != nil {
+						t.Fatal(err)
+					}
+				}
+			})
+
+			for i, rp := range replays {
+				if rp.lastSeq == 0 {
+					t.Fatalf("%s: no deltas delivered", labels[i])
+				}
+				if !rp.rel.EqualApprox(engines[i].Result().rel, 1e-6) {
+					t.Fatalf("%s: replayed stream does not reconstruct Result\nreplay %v\nresult %v",
+						labels[i], rp.rel, engines[i].Result().rel)
+				}
+			}
+		})
+	}
+}
+
+// TestChangefeedReEvaluationPolicy exercises delta capture on the
+// re-evaluation path (OpSet top-view triggers from uncorrelated
+// nesting), which installs results through transformer writes on the
+// distributed backend.
+func TestChangefeedReEvaluationPolicy(t *testing.T) {
+	// x := COUNT(S) is uncorrelated with R, so updates to S recompute
+	// the view (Sec. 3.2.3).
+	inner := Sum(nil, Table("S", "c", "d"))
+	q := Sum(nil, Join(
+		Table("R", "a", "b"),
+		Lift("x", inner),
+		Cond(Lt, Col("a"), Col("x"))))
+	bases := map[string]Schema{"R": {"a", "b"}, "S": {"c", "d"}}
+
+	local, err := New("QRE", q, bases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	distEng, err := New("QRE", q, bases, Distributed(4), KeyRanks(map[string]int{"a": 2, "c": 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	engines := []*Engine{local, distEng}
+	replays := []*replayer{subscribeReplay(t, local), subscribeReplay(t, distEng)}
+
+	rng := rand.New(rand.NewSource(5))
+	for round := 0; round < 8; round++ {
+		br := NewBatch(Schema{"a", "b"})
+		bs := NewBatch(Schema{"c", "d"})
+		for i := 0; i < 10; i++ {
+			br.Insert(Row(rng.Intn(6), rng.Intn(30)))
+		}
+		if round%2 == 1 {
+			bs.Insert(Row(rng.Intn(20), rng.Intn(20)))
+		}
+		for _, e := range engines {
+			tx := e.NewTx()
+			tx.Put("R", &Batch{rel: br.rel.Clone()})
+			if bs.Len() > 0 {
+				tx.Put("S", &Batch{rel: bs.rel.Clone()})
+			}
+			if err := e.Apply(tx); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for i, label := range []string{"local", "distributed"} {
+		res := engines[i].Result().rel
+		if !replays[i].rel.EqualApprox(res, 1e-9) {
+			t.Fatalf("%s: replay does not reconstruct re-evaluated result\nreplay %v\nresult %v",
+				label, replays[i].rel, res)
+		}
+	}
+	if !engines[1].Result().rel.EqualApprox(engines[0].Result().rel, 1e-9) {
+		t.Fatalf("distributed re-evaluation diverged from local")
+	}
+}
+
+// TestChangefeedWarmDelta pins the warm-start contract: Warm delivers
+// the initial result contents as the first delta on both backends, and
+// the replay invariant holds across warm start plus streamed updates.
+func TestChangefeedWarmDelta(t *testing.T) {
+	query := Sum([]string{"k"}, Join(Table("R", "a", "k"), Table("S", "k", "c")))
+	bases := map[string]Schema{"R": {"a", "k"}, "S": {"k", "c"}}
+	ranks := map[string]int{"a": 3, "k": 2}
+
+	initR := NewBatch(Schema{"a", "k"})
+	initS := NewBatch(Schema{"k", "c"})
+	for i := 0; i < 60; i++ {
+		initR.Insert(Row(i, i%5))
+		initS.Insert(Row(i%5, i))
+	}
+
+	local, err := New("QW", query, bases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	distEng, err := New("QW", query, bases, Distributed(8), KeyRanks(ranks))
+	if err != nil {
+		t.Fatal(err)
+	}
+	engines := []*Engine{local, distEng}
+	replays := []*replayer{subscribeReplay(t, local), subscribeReplay(t, distEng)}
+
+	for _, e := range engines {
+		warm := map[string]*Batch{
+			"R": {rel: initR.rel.Clone()},
+			"S": {rel: initS.rel.Clone()},
+		}
+		if err := e.Warm(warm); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, label := range []string{"local", "distributed"} {
+		if replays[i].lastSeq != 1 {
+			t.Fatalf("%s: warm start delivered %d deltas, want 1", label, replays[i].lastSeq)
+		}
+		if replays[i].rel.Len() == 0 {
+			t.Fatalf("%s: warm delta empty", label)
+		}
+	}
+
+	intStream(t, engines)
+
+	for i, label := range []string{"local", "distributed"} {
+		res := engines[i].Result().rel
+		if !replays[i].rel.Equal(res) {
+			t.Fatalf("%s: warm+stream replay does not reconstruct Result\nreplay %v\nresult %v",
+				label, replays[i].rel, res)
+		}
+	}
+	if !distEng.Result().rel.Equal(local.Result().rel) {
+		t.Fatalf("warm-started distributed result diverged from local\n got %v\nwant %v",
+			distEng.Result().rel, local.Result().rel)
+	}
+}

@@ -1,0 +1,84 @@
+package ivm
+
+// Deprecated constructors and methods kept so code written against the
+// pre-unification API (separate Engine / DistributedEngine types)
+// keeps compiling. New code constructs engines with New and its
+// options; see engine.go.
+
+// NewEngine compiles the query with the paper's default options and
+// returns a single-node engine over empty tables.
+//
+// Deprecated: use New(name, query, bases).
+func NewEngine(name string, query Expr, bases map[string]Schema) (*Engine, error) {
+	return New(name, query, bases)
+}
+
+// NewEngineWithOptions compiles with explicit options.
+//
+// Deprecated: use New(name, query, bases, CompileOptions(opts)).
+func NewEngineWithOptions(name string, query Expr, bases map[string]Schema, opts Options) (*Engine, error) {
+	return New(name, query, bases, CompileOptions(opts))
+}
+
+// SetSingleTuple switches the local executor to tuple-at-a-time
+// processing; it is a no-op on the distributed backend.
+//
+// Deprecated: use the SingleTuple option of New.
+func (e *Engine) SetSingleTuple(on bool) {
+	if lb, ok := e.be.(*localBackend); ok {
+		lb.ex.SingleTuple = on
+	}
+}
+
+// LoadTable initializes base tables before streaming. Entries for
+// tables the engine does not have are ignored (the historical
+// behavior); it panics when the initial tables fail validation.
+//
+// Deprecated: use Warm, which reports errors, rejects unknown tables,
+// and also works on the distributed backend.
+func (e *Engine) LoadTable(tables map[string]*Batch) {
+	known := make(map[string]*Batch, len(tables))
+	for n, b := range tables {
+		if _, ok := e.prog.Bases[n]; ok && b != nil {
+			known[n] = b
+		}
+	}
+	if err := e.Warm(known); err != nil {
+		panic(err)
+	}
+}
+
+// DistributedEngine is the pre-unification distributed engine type: an
+// Engine constructed with the Distributed option, plus the historical
+// per-batch metrics return of its ApplyBatch.
+//
+// Deprecated: use New(name, query, bases, Distributed(workers),
+// KeyRanks(ranks)); read costs with Engine.Metrics/LastMetrics.
+type DistributedEngine struct {
+	*Engine
+	// Metrics accumulates virtual platform costs across batches.
+	Metrics Metrics
+}
+
+// NewDistributedEngine compiles and deploys the query across the given
+// number of simulated workers.
+//
+// Deprecated: use New with the Distributed and KeyRanks options.
+func NewDistributedEngine(name string, query Expr, bases map[string]Schema, workers int, keyRanks map[string]int) (*DistributedEngine, error) {
+	eng, err := New(name, query, bases, Distributed(workers), KeyRanks(keyRanks))
+	if err != nil {
+		return nil, err
+	}
+	return &DistributedEngine{Engine: eng}, nil
+}
+
+// ApplyBatch spreads the batch over the workers and runs the
+// distributed trigger; the returned metrics describe this batch's
+// virtual cost.
+func (e *DistributedEngine) ApplyBatch(table string, b *Batch) (Metrics, error) {
+	if err := e.Engine.ApplyBatch(table, b); err != nil {
+		return Metrics{}, err
+	}
+	e.Metrics = e.Engine.Metrics()
+	return e.Engine.LastMetrics(), nil
+}

@@ -1,0 +1,496 @@
+package ivm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/cluster"
+	"repro/internal/compile"
+	"repro/internal/dist"
+	"repro/internal/eval"
+	"repro/internal/expr"
+	"repro/internal/mring"
+)
+
+// Metrics reports the virtual platform cost of distributed processing
+// (latency, compute, shuffled bytes, stage/job counts). Engines on the
+// local backend report zero metrics.
+type Metrics = cluster.Metrics
+
+// engineConfig collects the functional options of New.
+type engineConfig struct {
+	distributed bool
+	workers     int
+	keyRanks    map[string]int
+	copts       compile.Options
+	singleTuple bool
+}
+
+// Option configures an Engine at construction.
+type Option func(*engineConfig)
+
+// Distributed deploys the engine on the simulated synchronous cluster
+// (Sec. 4) with the given number of workers: views are partitioned by
+// the paper's heuristic and batches run through compiled distributed
+// trigger programs. Without this option the engine runs single-node.
+func Distributed(workers int) Option {
+	return func(c *engineConfig) {
+		c.distributed = true
+		c.workers = workers
+	}
+}
+
+// KeyRanks ranks partition-key columns by the cardinality of their
+// source table (higher rank = larger table; see tpch.PrimaryKeyRanks).
+// It drives the distributed partitioning heuristic and is ignored on
+// the local backend.
+func KeyRanks(ranks map[string]int) Option {
+	return func(c *engineConfig) { c.keyRanks = ranks }
+}
+
+// CompileOptions overrides the paper's default compilation options
+// (domain extraction, batch pre-aggregation, re-evaluation for
+// uncorrelated nesting).
+func CompileOptions(o Options) Option {
+	return func(c *engineConfig) { c.copts = o }
+}
+
+// SingleTuple switches the local executor to tuple-at-a-time processing
+// (the comparison mode of Sec. 3.3). Incompatible with Distributed.
+func SingleTuple() Option {
+	return func(c *engineConfig) { c.singleTuple = true }
+}
+
+// backend is the execution plane behind an Engine: the local executor
+// and the simulated cluster implement the same four-operation contract,
+// so everything above (transactions, warm starts, the changefeed) is
+// written once.
+type backend interface {
+	// ApplyTx folds one multi-table transaction into all maintained
+	// views; with capture on it returns the result view's per-group
+	// delta (nil otherwise, skipping all capture work).
+	ApplyTx(tx []compile.TableBatch, capture bool) (*mring.Relation, error)
+	// Warm installs initial base-table contents before streaming and
+	// returns the initial result contents as the first delta.
+	Warm(bases map[string]*mring.Relation) (*mring.Relation, error)
+	// Result returns the maintained query result contents.
+	Result() *mring.Relation
+	// Stats returns evaluation statistics accumulated across batches.
+	Stats() eval.Stats
+	// TriggerProgram renders the maintenance program for one base table.
+	TriggerProgram(table string) string
+	// Metrics returns the cumulative and last-transaction platform cost
+	// (zero on the local backend).
+	Metrics() (total, lastTx Metrics)
+}
+
+// Engine maintains one compiled query incrementally. The same type
+// fronts both execution planes — construct with New, picking the
+// backend with options:
+//
+//	local, _ := ivm.New("Q", q, bases)
+//	dist8, _ := ivm.New("Q", q, bases, ivm.Distributed(8), ivm.KeyRanks(r))
+//
+// Updates apply through Apply (atomic multi-table transactions) or
+// ApplyBatch (single-table sugar); Subscribe delivers each applied
+// transaction's result delta.
+type Engine struct {
+	name string
+	prog *compile.Program
+	be   backend
+
+	mu   sync.Mutex
+	subs []subscriber
+	next int
+	seq  int64
+}
+
+type subscriber struct {
+	id int
+	fn func(Delta)
+}
+
+// New compiles the query over the given base relation schemas and
+// returns an engine over empty tables. By default it compiles with the
+// paper's default options and runs single-node; see Distributed,
+// KeyRanks, CompileOptions, and SingleTuple.
+func New(name string, query Expr, bases map[string]Schema, opts ...Option) (*Engine, error) {
+	cfg := engineConfig{copts: compile.DefaultOptions()}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.distributed && cfg.workers < 1 {
+		return nil, fmt.Errorf("ivm: Distributed needs at least one worker, got %d", cfg.workers)
+	}
+	if cfg.distributed && cfg.singleTuple {
+		return nil, fmt.Errorf("ivm: SingleTuple is a local execution mode; drop it or drop Distributed")
+	}
+	prog, err := compile.Compile(name, query, bases, cfg.copts)
+	if err != nil {
+		return nil, err
+	}
+	var be backend
+	if cfg.distributed {
+		be = newDistBackend(prog, cfg.workers, cfg.keyRanks)
+	} else {
+		be = newLocalBackend(prog, cfg.singleTuple)
+	}
+	return &Engine{name: name, prog: prog, be: be}, nil
+}
+
+// Program returns the compiled maintenance program (its String method
+// renders the view hierarchy and triggers).
+func (e *Engine) Program() *Program { return e.prog }
+
+// TriggerProgram renders the maintenance program run for batches of one
+// base table: the local trigger or the compiled distributed program,
+// depending on the backend. Empty for unknown tables.
+func (e *Engine) TriggerProgram(table string) string { return e.be.TriggerProgram(table) }
+
+// Stats returns the evaluation statistics accumulated across all
+// transactions (on the distributed backend: across all nodes, merged
+// deterministically).
+func (e *Engine) Stats() Stats { return e.be.Stats() }
+
+// Metrics returns the cumulative virtual platform cost of all processed
+// transactions. Zero on the local backend.
+func (e *Engine) Metrics() Metrics { total, _ := e.be.Metrics(); return total }
+
+// LastMetrics returns the platform cost of the most recently applied
+// transaction. Zero on the local backend.
+func (e *Engine) LastMetrics() Metrics { _, last := e.be.Metrics(); return last }
+
+// Result returns the maintained query result. Iterate with Foreach.
+func (e *Engine) Result() *Result { return &Result{rel: e.be.Result()} }
+
+// knownTables renders the engine's base tables for error messages.
+func knownTables(bases map[string]Schema) string {
+	names := make([]string, 0, len(bases))
+	for n := range bases {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
+
+// Apply folds one transaction — update batches for any set of base
+// tables — into all maintained views in a single maintenance step:
+// per-table triggers run in the transaction's table order, and the
+// result observed by Result and the changefeed reflects either none or
+// all of the transaction. Applying a transaction is equivalent to
+// applying its batches as sequential single-table batches; the
+// transaction boundary determines what one Delta covers. Unknown tables
+// and arity-mismatched batches are rejected before anything is applied;
+// an execution error from the backend itself (a programming or
+// deployment error, not a data error) can leave a prefix of the
+// transaction's tables applied.
+func (e *Engine) Apply(tx *Tx) error {
+	if tx == nil || len(tx.order) == 0 {
+		return nil
+	}
+	batches := make([]compile.TableBatch, 0, len(tx.order))
+	for _, table := range tx.order {
+		schema, ok := e.prog.Bases[table]
+		if !ok {
+			return fmt.Errorf("ivm: unknown table %q (engine has: %s)", table, knownTables(e.prog.Bases))
+		}
+		b := tx.batches[table]
+		if got := len(b.Schema()); got != len(schema) {
+			return fmt.Errorf("ivm: batch for table %q has arity %d, schema %v wants %d",
+				table, got, []string(schema), len(schema))
+		}
+		batches = append(batches, compile.TableBatch{Table: table, Batch: b.rel})
+	}
+	delta, err := e.be.ApplyTx(batches, e.capturing())
+	if err != nil {
+		return err
+	}
+	e.deliver(delta)
+	return nil
+}
+
+// ApplyBatch folds one single-table update batch into all maintained
+// views: sugar for a one-table transaction.
+func (e *Engine) ApplyBatch(table string, b *Batch) error {
+	tx := NewTx()
+	if err := tx.Put(table, b); err != nil {
+		return err
+	}
+	return e.Apply(tx)
+}
+
+// capturing reports whether any changefeed subscriber is attached;
+// without one the backends skip all delta-capture work.
+func (e *Engine) capturing() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.subs) > 0
+}
+
+// Warm initializes base tables before streaming (static dimensions,
+// checkpointed state): every maintained view is computed from the given
+// contents, and on the distributed backend each view's contents are
+// partitioned across the workers with the same placement function the
+// shuffles use, so warm-started state is indistinguishable from
+// streamed state. Call before the first transaction. The initial result
+// contents are delivered to subscribers as one Delta, so a changefeed
+// replay starting from empty still reconstructs Result exactly.
+func (e *Engine) Warm(tables map[string]*Batch) error {
+	for n, b := range tables {
+		if _, ok := e.prog.Bases[n]; !ok {
+			return fmt.Errorf("ivm: unknown table %q (engine has: %s)", n, knownTables(e.prog.Bases))
+		}
+		if b == nil {
+			return fmt.Errorf("ivm: nil initial batch for table %q", n)
+		}
+	}
+	init := make(map[string]*mring.Relation, len(e.prog.Bases))
+	for n, schema := range e.prog.Bases {
+		if b, ok := tables[n]; ok {
+			if got := len(b.Schema()); got != len(schema) {
+				return fmt.Errorf("ivm: initial table %q has arity %d, schema %v wants %d",
+					n, got, []string(schema), len(schema))
+			}
+			init[n] = b.rel
+		} else {
+			init[n] = mring.NewRelation(schema)
+		}
+	}
+	delta, err := e.be.Warm(init)
+	if err != nil {
+		return err
+	}
+	e.deliver(delta)
+	return nil
+}
+
+// Delta is the per-transaction change of the maintained result: a map
+// from result groups to the change of their aggregate value (groups
+// whose contributions canceled within the transaction do not appear).
+// Iteration is deterministic, so two subscribers — or two engines fed
+// the same stream — observe identical delta sequences.
+type Delta struct {
+	// Seq is the 1-based sequence number of the transaction that
+	// produced this delta (Warm counts as a transaction).
+	Seq int64
+	rel *mring.Relation
+}
+
+// Len returns the number of changed result groups.
+func (d Delta) Len() int { return d.rel.Len() }
+
+// Get returns the change of one group's aggregate value (zero when the
+// group did not change).
+func (d Delta) Get(t Tuple) float64 { return d.rel.Get(t) }
+
+// Foreach visits every changed group with its value change, in the
+// deterministic sorted tuple order. Replaying every delta of the feed
+// into an empty relation reconstructs Result.
+func (d Delta) Foreach(f func(t Tuple, change float64)) { d.rel.ForeachSorted(f) }
+
+// String renders the delta deterministically.
+func (d Delta) String() string { return fmt.Sprintf("#%d %s", d.Seq, d.rel.String()) }
+
+// Subscribe registers a changefeed subscriber: fn is invoked once per
+// applied transaction (Apply, ApplyBatch, Warm) with the exact result
+// delta that transaction produced, after the engine state was updated.
+// On the distributed backend the delta is gathered deterministically —
+// per-worker contributions merge in worker-index order — so subscribers
+// observe the same stream on every run. Subscribers run synchronously
+// on the applying goroutine, in subscription order. The returned cancel
+// function removes the subscription. Capture is active only while at
+// least one subscriber is attached — an unsubscribed engine pays no
+// delta-capture overhead, so subscribe before applying the
+// transactions the feed should cover.
+func (e *Engine) Subscribe(fn func(Delta)) (cancel func()) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	id := e.next
+	e.next++
+	e.subs = append(e.subs, subscriber{id: id, fn: fn})
+	return func() {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		for i, s := range e.subs {
+			if s.id == id {
+				e.subs = append(e.subs[:i], e.subs[i+1:]...)
+				return
+			}
+		}
+	}
+}
+
+// deliver hands one transaction's result delta to every subscriber.
+// Without subscribers it only advances the sequence number — no delta
+// is materialized.
+func (e *Engine) deliver(rel *mring.Relation) {
+	e.mu.Lock()
+	e.seq++
+	if len(e.subs) == 0 {
+		e.mu.Unlock()
+		return
+	}
+	if rel == nil {
+		rel = mring.NewRelation(e.prog.TopView().Schema)
+	}
+	d := Delta{Seq: e.seq, rel: rel}
+	subs := append([]subscriber(nil), e.subs...)
+	e.mu.Unlock()
+	for _, s := range subs {
+		s.fn(d)
+	}
+}
+
+// localBackend runs the compiled program on the single-node executor.
+type localBackend struct {
+	prog *compile.Program
+	ex   *compile.Executor
+}
+
+func newLocalBackend(prog *compile.Program, singleTuple bool) *localBackend {
+	ex := compile.NewExecutor(prog)
+	ex.SingleTuple = singleTuple
+	return &localBackend{prog: prog, ex: ex}
+}
+
+func (lb *localBackend) ApplyTx(tx []compile.TableBatch, capture bool) (*mring.Relation, error) {
+	if !capture {
+		// No subscribers: fold without registering the capture sink (in
+		// particular, OpSet folds skip their pre-statement clone).
+		for _, tb := range tx {
+			lb.ex.ApplyBatch(tb.Table, tb.Batch)
+		}
+		return nil, nil
+	}
+	return lb.ex.ApplyTx(tx)
+}
+
+func (lb *localBackend) Warm(bases map[string]*mring.Relation) (*mring.Relation, error) {
+	lb.ex.InitFromBases(bases)
+	return lb.ex.Result().Clone(), nil
+}
+
+func (lb *localBackend) Result() *mring.Relation { return lb.ex.Result() }
+
+func (lb *localBackend) Stats() eval.Stats { return lb.ex.Stats }
+
+func (lb *localBackend) TriggerProgram(table string) string {
+	trg := lb.prog.Triggers[table]
+	if trg == nil {
+		return ""
+	}
+	return trg.String()
+}
+
+func (lb *localBackend) Metrics() (Metrics, Metrics) { return Metrics{}, Metrics{} }
+
+// distBackend runs the compiled program on the simulated synchronous
+// cluster: views are partitioned by the paper's heuristic and batches
+// are processed through compiled distributed trigger programs.
+type distBackend struct {
+	prog   *compile.Program
+	parts  dist.PartInfo
+	dprogs map[string]*dist.DistProgram
+	cl     *cluster.Cluster
+	total  Metrics
+	last   Metrics
+	// watching mirrors the cluster's watch state (on only while the
+	// engine has changefeed subscribers).
+	watching bool
+}
+
+func newDistBackend(prog *compile.Program, workers int, keyRanks map[string]int) *distBackend {
+	parts := dist.ChoosePartitioning(prog, keyRanks)
+	dprogs := dist.CompileProgram(prog, parts, dist.O3)
+	cl := cluster.New(cluster.DefaultConfig(workers), dist.ViewSchemas(prog), parts)
+	return &distBackend{prog: prog, parts: parts, dprogs: dprogs, cl: cl}
+}
+
+// setCapture toggles the cluster's watch on the top view so unsubscribed
+// engines pay no per-batch sink or clone work.
+func (db *distBackend) setCapture(on bool) {
+	if on == db.watching {
+		return
+	}
+	if on {
+		db.cl.WatchView(db.prog.QueryName)
+	} else {
+		db.cl.UnwatchView()
+	}
+	db.watching = on
+}
+
+func (db *distBackend) ApplyTx(tx []compile.TableBatch, capture bool) (*mring.Relation, error) {
+	db.setCapture(capture)
+	var txm Metrics
+	for _, tb := range tx {
+		dp := db.dprogs[tb.Table]
+		if dp == nil {
+			return nil, fmt.Errorf("ivm: no distributed trigger for table %q", tb.Table)
+		}
+		// Workers ingest stream fragments directly (Sec. 6.2): the batch
+		// spreads round-robin over the workers.
+		workers := db.cl.Workers()
+		frags := make([]*mring.Relation, workers)
+		for i := range frags {
+			frags[i] = mring.NewRelation(tb.Batch.Schema())
+		}
+		i := 0
+		tb.Batch.Foreach(func(t mring.Tuple, m float64) {
+			frags[i%workers].Add(t, m)
+			i++
+		})
+		m, err := db.cl.RunPartitioned(dp, frags)
+		if err != nil {
+			// Discard whatever the failed transaction captured so the
+			// next delivered delta is not polluted by its prefix.
+			db.cl.TakeWatchDelta()
+			return nil, err
+		}
+		txm.Add(m)
+	}
+	db.total.Add(txm)
+	db.last = txm
+	if !capture {
+		return nil, nil
+	}
+	return db.cl.TakeWatchDelta(), nil
+}
+
+func (db *distBackend) Warm(bases map[string]*mring.Relation) (*mring.Relation, error) {
+	// Evaluate every view definition from scratch on a throwaway local
+	// executor, then install the contents across the cluster partitioned
+	// by the deployed PartInfo.
+	ex := compile.NewExecutor(db.prog)
+	ex.InitFromBases(bases)
+	contents := make(map[string]*mring.Relation)
+	for _, v := range db.prog.Views {
+		if v.Transient || expr.HasDelta(v.Def) {
+			continue
+		}
+		contents[v.Name] = ex.View(v.Name)
+	}
+	if err := db.cl.WarmViews(contents); err != nil {
+		return nil, err
+	}
+	db.cl.TakeWatchDelta() // warm installs bypass the fold capture
+	return db.cl.ViewContents(db.prog.QueryName), nil
+}
+
+func (db *distBackend) Result() *mring.Relation {
+	return db.cl.ViewContents(db.prog.QueryName)
+}
+
+func (db *distBackend) Stats() eval.Stats { return db.cl.Stats }
+
+func (db *distBackend) TriggerProgram(table string) string {
+	dp := db.dprogs[table]
+	if dp == nil {
+		return ""
+	}
+	return dp.String()
+}
+
+func (db *distBackend) Metrics() (Metrics, Metrics) { return db.total, db.last }

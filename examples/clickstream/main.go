@@ -24,7 +24,7 @@ func main() {
 			ivm.Cond(ivm.Gt, ivm.Col("dwell_ms"), ivm.ConstI(800)))))
 	query := ivm.Sum([]string{"page"}, distinct)
 
-	eng, err := ivm.NewEngine("engaged_sessions", query, map[string]ivm.Schema{
+	eng, err := ivm.New("engaged_sessions", query, map[string]ivm.Schema{
 		"clicks": {"session", "page", "dwell_ms"},
 	})
 	if err != nil {

@@ -1,10 +1,11 @@
 // Distributed: deploy an incremental view across a simulated synchronous
 // cluster (Sec. 4) and watch the per-batch platform metrics.
 //
-// The query joins orders with a distributed customer dimension, both
-// views partitioned by the paper's heuristic; the compiled trigger
-// programs show the scatter/repartition rounds and fused statement
-// blocks.
+// The engine is the same ivm.Engine as the local one — the Distributed
+// option swaps the backend. The customer dimension loads through Warm
+// (partitioned across the workers by the deployed placement), and the
+// compiled trigger programs show the scatter/repartition rounds and
+// fused statement blocks.
 package main
 
 import (
@@ -28,22 +29,25 @@ func main() {
 	}
 	keyRanks := map[string]int{"order_id": 2, "cust_id": 1}
 
-	eng, err := ivm.NewDistributedEngine("revenue", query, bases, 16, keyRanks)
+	eng, err := ivm.New("revenue", query, bases,
+		ivm.Distributed(16), ivm.KeyRanks(keyRanks))
 	if err != nil {
 		panic(err)
 	}
 	fmt.Println("distributed trigger for orders batches:")
 	fmt.Println(eng.TriggerProgram("orders"))
 
-	rng := rand.New(rand.NewSource(3))
+	// Warm-start the customer dimension: the initial table partitions
+	// across the workers exactly like streamed data would.
 	cust := ivm.NewBatch(bases["customers"])
 	for c := 0; c < 500; c++ {
 		cust.Insert(ivm.Row(c, c%5))
 	}
-	if _, err := eng.ApplyBatch("customers", cust); err != nil {
+	if err := eng.Warm(map[string]*ivm.Batch{"customers": cust}); err != nil {
 		panic(err)
 	}
 
+	rng := rand.New(rand.NewSource(3))
 	for batch := 0; batch < 5; batch++ {
 		b := ivm.NewBatch(bases["orders"])
 		for i := 0; i < 5000; i++ {
@@ -53,10 +57,10 @@ func main() {
 				ivm.Float(rng.Float64() * 100),
 			})
 		}
-		m, err := eng.ApplyBatch("orders", b)
-		if err != nil {
+		if err := eng.ApplyBatch("orders", b); err != nil {
 			panic(err)
 		}
+		m := eng.LastMetrics()
 		fmt.Printf("batch %d: virtual latency %v, shuffled %d KB over %d stages\n",
 			batch, m.Latency.Round(1e6), m.ShuffledBytes/1024, m.Stages)
 	}

@@ -1,9 +1,10 @@
 // Quickstart: maintain a grouped join aggregate incrementally.
 //
 // The query is Example 2.1 of the paper: COUNT(*) over the natural join
-// of R(A,B), S(B,C), T(C,D), grouped by B. The engine compiles it into a
-// recursive maintenance program (inspect it with Program()); every batch
-// refreshes the result in time proportional to the batch, not the data.
+// of R(A,B), S(B,C), T(C,D), grouped by B. ivm.New compiles it into a
+// recursive maintenance program (inspect it with Program()); every
+// transaction refreshes the result in time proportional to the batch,
+// not the data.
 package main
 
 import (
@@ -18,7 +19,7 @@ func main() {
 		ivm.Table("S", "B", "C"),
 		ivm.Table("T", "C", "D")))
 
-	eng, err := ivm.NewEngine("Q", query, map[string]ivm.Schema{
+	eng, err := ivm.New("Q", query, map[string]ivm.Schema{
 		"R": {"A", "B"}, "S": {"B", "C"}, "T": {"C", "D"},
 	})
 	if err != nil {
@@ -28,26 +29,24 @@ func main() {
 	fmt.Println("compiled maintenance program:")
 	fmt.Println(eng.Program())
 
-	// Stream some updates.
-	r := ivm.NewBatch(ivm.Schema{"A", "B"})
-	r.Insert(ivm.Row(1, 10))
-	r.Insert(ivm.Row(2, 10))
-	eng.ApplyBatch("R", r)
+	// One atomic transaction touching all three tables: the result
+	// reflects none or all of it.
+	tx := eng.NewTx()
+	tx.Insert("R", ivm.Row(1, 10))
+	tx.Insert("R", ivm.Row(2, 10))
+	tx.Insert("S", ivm.Row(10, 100))
+	tx.Insert("T", ivm.Row(100, 7))
+	tx.Insert("T", ivm.Row(100, 8))
+	if err := eng.Apply(tx); err != nil {
+		panic(err)
+	}
+	fmt.Println("result after the transaction:", eng.Result())
 
-	s := ivm.NewBatch(ivm.Schema{"B", "C"})
-	s.Insert(ivm.Row(10, 100))
-	eng.ApplyBatch("S", s)
-
-	t := ivm.NewBatch(ivm.Schema{"C", "D"})
-	t.Insert(ivm.Row(100, 7))
-	t.Insert(ivm.Row(100, 8))
-	eng.ApplyBatch("T", t)
-
-	fmt.Println("result after inserts:", eng.Result())
-
-	// Deletions retract incrementally too.
+	// Deletions retract incrementally too (single-table sugar).
 	del := ivm.NewBatch(ivm.Schema{"A", "B"})
 	del.Delete(ivm.Row(1, 10))
-	eng.ApplyBatch("R", del)
+	if err := eng.ApplyBatch("R", del); err != nil {
+		panic(err)
+	}
 	fmt.Println("result after deleting R(1,10):", eng.Result())
 }

@@ -31,7 +31,7 @@ func main() {
 			ivm.Mul2(ivm.ConstF(0.2), ivm.Div(ivm.Col("sym_size"), ivm.Col("sym_cnt")))),
 		ivm.Val(ivm.Mul2(ivm.Col("size"), ivm.Col("price")))))
 
-	eng, err := ivm.NewEngine("odd_lots", query, map[string]ivm.Schema{
+	eng, err := ivm.New("odd_lots", query, map[string]ivm.Schema{
 		"fills": {"symbol", "venue", "size", "price"},
 	})
 	if err != nil {

@@ -1,12 +1,12 @@
 package ivm
 
-// Golden-result gate for the hash-native aggregation path: the TPC-H
-// aggregate queries (Q1-style group-bys) must produce identical results
-// through every execution plane — the single-node Engine, the
-// DistributedEngine at 1, 8, and 16 workers, and a fresh-rebuild oracle
-// that recomputes the query from the accumulated base tables. Run under
-// -race (make test) this also certifies the group tables built on worker
-// goroutines share nothing.
+// Golden-result gate for the unified engine API: the TPC-H aggregate
+// queries (Q1-style group-bys) must produce identical results through
+// every execution plane — ivm.New's local backend, its distributed
+// backend at 1, 8, and 16 workers, and a fresh-rebuild oracle that
+// recomputes the query from the accumulated base tables. Run under
+// -race (make test) this also certifies the group tables built on
+// worker goroutines share nothing.
 
 import (
 	"testing"
@@ -43,6 +43,16 @@ func goldenStream(t *testing.T, q tpch.Query, apply func(table string, b *Batch)
 	return accum
 }
 
+// rebuildOracle recomputes the query from scratch over accumulated base
+// tables.
+func rebuildOracle(q tpch.Query, accum map[string]*mring.Relation) *mring.Relation {
+	env := eval.NewEnv()
+	for n, r := range accum {
+		env.Bind(n, r)
+	}
+	return eval.NewCtx(env).Materialize(q.Def)
+}
+
 func TestGoldenAggregatesAcrossEngines(t *testing.T) {
 	workerCounts := []int{1, 8, 16}
 	for _, name := range []string{"Q1", "Q3", "Q6"} {
@@ -53,13 +63,15 @@ func TestGoldenAggregatesAcrossEngines(t *testing.T) {
 			}
 			bases := q.BaseSchemas()
 
-			local, err := NewEngine(q.Name, q.Def, bases)
+			// One constructor path for both backends.
+			local, err := New(q.Name, q.Def, bases)
 			if err != nil {
 				t.Fatal(err)
 			}
-			dists := map[int]*DistributedEngine{}
+			dists := map[int]*Engine{}
 			for _, w := range workerCounts {
-				if dists[w], err = NewDistributedEngine(q.Name, q.Def, bases, w, tpch.PrimaryKeyRanks); err != nil {
+				if dists[w], err = New(q.Name, q.Def, bases,
+					Distributed(w), KeyRanks(tpch.PrimaryKeyRanks)); err != nil {
 					t.Fatalf("workers=%d: %v", w, err)
 				}
 			}
@@ -67,22 +79,17 @@ func TestGoldenAggregatesAcrossEngines(t *testing.T) {
 			// Static dimensions load the same way everywhere; the stream
 			// then feeds every engine the identical batch sequence.
 			accum := goldenStream(t, q, func(table string, b *Batch) {
-				local.ApplyBatch(table, b)
+				if err := local.ApplyBatch(table, b); err != nil {
+					t.Fatal(err)
+				}
 				for _, w := range workerCounts {
-					if _, err := dists[w].ApplyBatch(table, b); err != nil {
+					if err := dists[w].ApplyBatch(table, b); err != nil {
 						t.Fatalf("workers=%d: %v", w, err)
 					}
 				}
 			})
 
-			// Fresh-rebuild oracle: the query recomputed from scratch over
-			// the accumulated base tables.
-			env := eval.NewEnv()
-			for n, r := range accum {
-				env.Bind(n, r)
-			}
-			oracle := eval.NewCtx(env).Materialize(q.Def)
-
+			oracle := rebuildOracle(q, accum)
 			want := local.Result().rel
 			if !want.EqualApprox(oracle, 1e-6) {
 				t.Fatalf("Engine diverges from rebuild oracle\n got (%d groups) %v\nwant (%d groups) %v",
@@ -101,6 +108,76 @@ func TestGoldenAggregatesAcrossEngines(t *testing.T) {
 	}
 }
 
+// TestGoldenTxEqualsSequential pins the transaction semantics: folding
+// one Apply(tx) over several tables produces exactly the same state as
+// applying the same per-table batches as sequential single-table
+// batches (in tx order), and both equal the rebuild oracle. Checked on
+// both backends.
+func TestGoldenTxEqualsSequential(t *testing.T) {
+	q, err := tpch.QueryByName("Q3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bases := q.BaseSchemas()
+	newEngines := func(opts ...Option) (txEng, seqEng *Engine) {
+		txEng, err := New(q.Name, q.Def, bases, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seqEng, err = New(q.Name, q.Def, bases, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return txEng, seqEng
+	}
+	for _, tc := range []struct {
+		name string
+		opts []Option
+	}{
+		{"local", nil},
+		{"distributed8", []Option{Distributed(8), KeyRanks(tpch.PrimaryKeyRanks)}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			txEng, seqEng := newEngines(tc.opts...)
+
+			// Group the stream into multi-table transactions: all batches
+			// of one stream round form one Tx.
+			gen := tpch.NewGenerator(0.03, 7)
+			accum := map[string]*mring.Relation{}
+			for _, tbl := range q.Tables {
+				accum[tbl] = mring.NewRelation(tpch.Schemas[tbl])
+			}
+			stream := tpch.NewStream(gen, q.Tables)
+			for {
+				bs := stream.NextBatches(300)
+				if len(bs) == 0 {
+					break
+				}
+				tx := txEng.NewTx()
+				for _, b := range bs {
+					tx.Put(b.Table, &Batch{rel: b.Rel.Clone()})
+					if err := seqEng.ApplyBatch(b.Table, &Batch{rel: b.Rel.Clone()}); err != nil {
+						t.Fatal(err)
+					}
+					accum[b.Table].Merge(b.Rel)
+				}
+				if err := txEng.Apply(tx); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			got, want := txEng.Result().rel, seqEng.Result().rel
+			if !got.Equal(want) {
+				t.Fatalf("Apply(tx) diverged from sequential batches\n got %v\nwant %v", got, want)
+			}
+			oracle := rebuildOracle(q, accum)
+			if !got.EqualApprox(oracle, 1e-6) {
+				t.Fatalf("Apply(tx) diverged from rebuild oracle\n got %v\nwant %v", got, oracle)
+			}
+		})
+	}
+}
+
 // TestGoldenDistributedDeterminism pins the merge-order guarantee: two
 // distributed deployments fed the identical stream produce bitwise-equal
 // group values, because per-worker group tables always merge in
@@ -113,12 +190,12 @@ func TestGoldenDistributedDeterminism(t *testing.T) {
 	}
 	bases := q.BaseSchemas()
 	run := func() *mring.Relation {
-		d, err := NewDistributedEngine(q.Name, q.Def, bases, 8, tpch.PrimaryKeyRanks)
+		d, err := New(q.Name, q.Def, bases, Distributed(8), KeyRanks(tpch.PrimaryKeyRanks))
 		if err != nil {
 			t.Fatal(err)
 		}
 		goldenStream(t, q, func(table string, b *Batch) {
-			if _, err := d.ApplyBatch(table, b); err != nil {
+			if err := d.ApplyBatch(table, b); err != nil {
 				t.Fatal(err)
 			}
 		})
@@ -144,11 +221,15 @@ func TestGoldenQ1GroupDomain(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	local, err := NewEngine(q.Name, q.Def, q.BaseSchemas())
+	local, err := New(q.Name, q.Def, q.BaseSchemas())
 	if err != nil {
 		t.Fatal(err)
 	}
-	goldenStream(t, q, func(table string, b *Batch) { local.ApplyBatch(table, b) })
+	goldenStream(t, q, func(table string, b *Batch) {
+		if err := local.ApplyBatch(table, b); err != nil {
+			t.Fatal(err)
+		}
+	})
 	res := local.Result()
 	if res.Len() == 0 {
 		t.Fatal("Q1 produced no groups")

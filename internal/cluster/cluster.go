@@ -133,6 +133,14 @@ type Cluster struct {
 	// after each stage barrier, so the totals are deterministic even
 	// though the workers run concurrently.
 	Stats eval.Stats
+	// watch names the view whose maintenance writes are captured as
+	// deltas (WatchView); empty disables capture.
+	watch string
+	// watchDelta accumulates the captured writes since the last
+	// TakeWatchDelta, gathered deterministically: driver-side folds for
+	// local/replicated views, per-worker folds merged strictly in
+	// worker-index order for distributed views.
+	watchDelta *mring.Relation
 }
 
 // New creates a cluster with empty state.
@@ -157,6 +165,100 @@ func New(cfg Config, schemas map[string]mring.Schema, parts dist.PartInfo) *Clus
 // Workers returns the configured worker count.
 func (c *Cluster) Workers() int { return c.cfg.Workers }
 
+// WatchView starts capturing every maintenance write to the named view
+// as a per-batch delta. The view must be one of the schemas the cluster
+// was constructed with.
+func (c *Cluster) WatchView(name string) {
+	s, ok := c.schemas[name]
+	if !ok {
+		panic(fmt.Sprintf("cluster: cannot watch unknown view %q", name))
+	}
+	c.watch = name
+	c.watchDelta = mring.NewRelation(s)
+}
+
+// UnwatchView stops delta capture (batches run with zero capture
+// overhead again).
+func (c *Cluster) UnwatchView() {
+	c.watch = ""
+	c.watchDelta = nil
+}
+
+// TakeWatchDelta returns the delta accumulated since the last call (the
+// watched view's per-group change) and resets the accumulator. Nil when
+// no view is watched.
+func (c *Cluster) TakeWatchDelta() *mring.Relation {
+	d := c.watchDelta
+	if c.watch != "" {
+		c.watchDelta = mring.NewRelation(c.schemas[c.watch])
+	}
+	return d
+}
+
+// watchDriverSide reports whether the watched view's canonical
+// maintenance writes happen at the driver (local and replicated views;
+// for a replicated view only the driver mirror is captured — every
+// worker replays the identical delta) rather than on the workers
+// (distributed views, captured per worker and merged in index order).
+func (c *Cluster) watchDriverSide() bool {
+	loc, ok := c.parts[c.watch]
+	return !ok || loc.Kind != dist.LDist
+}
+
+// driverSink returns the sink for driver-side statement folds, nil when
+// capture is off or the watched view is worker-maintained.
+func (c *Cluster) driverSink() *mring.Relation {
+	if c.watch == "" || !c.watchDriverSide() {
+		return nil
+	}
+	return c.watchDelta
+}
+
+// WarmViews installs initial contents for materialized views before
+// streaming (the distributed warm start): each view's relation is placed
+// according to its canonical location — driver copy for local views,
+// key-partitioned worker fragments (via the platform placement function,
+// dist.SplitByKey) for distributed views, and a full replica per worker
+// plus the driver mirror for replicated views. Call before the first
+// batch; the relations are owned by the cluster afterwards.
+func (c *Cluster) WarmViews(contents map[string]*mring.Relation) error {
+	for name, rel := range contents {
+		if rel == nil {
+			continue
+		}
+		schema := c.schemaOf(name, rel.Schema())
+		loc := c.parts[name]
+		switch {
+		case loc.Kind == dist.LLocal:
+			c.driver.rels[name] = rel
+		case loc.Kind == dist.LIndiff:
+			c.driver.rels[name] = rel
+			for _, w := range c.workers {
+				w.rels[name] = rel.Clone()
+			}
+		case loc.Keyed():
+			keyPos := make([]int, len(loc.Key))
+			for i, k := range loc.Key {
+				p := schema.Index(k)
+				if p < 0 {
+					return fmt.Errorf("cluster: warm load of %q: key column %q not in schema %v", name, k, schema)
+				}
+				keyPos[i] = p
+			}
+			frags := dist.SplitByKey(rel, keyPos, len(c.workers))
+			for i, w := range c.workers {
+				if frags[i] == nil {
+					frags[i] = mring.NewRelation(schema)
+				}
+				w.rels[name] = frags[i]
+			}
+		default:
+			return fmt.Errorf("cluster: cannot warm load view %q located %v", name, loc)
+		}
+	}
+	return nil
+}
+
 // schemaOf returns the schema for a view/delta name, falling back to the
 // partitioning key when unknown (temp views register lazily on first
 // write).
@@ -169,9 +271,10 @@ func (c *Cluster) schemaOf(name string, fallback mring.Schema) mring.Schema {
 }
 
 // partIndex returns the worker index owning a tuple under the key columns
-// at the given positions.
+// at the given positions (the shared platform placement function, so
+// shuffles and warm-start loads agree).
 func (c *Cluster) partIndex(t mring.Tuple, keyPos []int) int {
-	return int(t.HashCols(keyPos) % uint64(len(c.workers)))
+	return dist.PlaceIndex(t, keyPos, len(c.workers))
 }
 
 // Run processes one update batch for the program's relation: the batch
@@ -270,7 +373,7 @@ func (c *Cluster) runLocalBlock(b dist.Block, prog *dist.DistProgram, m *Metrics
 			}
 			continue
 		}
-		st.Add(c.runStmtOn(c.driver, s))
+		st.Add(c.runStmtOn(c.driver, s, c.driverSink()))
 	}
 	c.Stats.Add(st)
 	compute := c.computeTime(st.Lookups+st.Scans+st.Emits, time.Since(computeStart))
@@ -304,6 +407,23 @@ func (c *Cluster) runDistBlock(b dist.Block, m *Metrics) {
 	c.prepareStmts(b.Stmts)
 	computes := make([]time.Duration, len(c.workers))
 	stats := make([]eval.Stats, len(c.workers))
+	// Worker-side delta capture: when the watched view is maintained on
+	// the workers and this stage writes it, every worker folds its own
+	// changes into a private sink; the sinks merge into the batch delta
+	// strictly in worker-index order after the barrier, so the gathered
+	// delta is deterministic despite concurrent workers.
+	var sinks []*mring.Relation
+	if c.watch != "" && !c.watchDriverSide() {
+		for _, s := range b.Stmts {
+			if s.LHS == c.watch {
+				sinks = make([]*mring.Relation, len(c.workers))
+				for i := range sinks {
+					sinks[i] = mring.NewRelation(c.schemas[c.watch])
+				}
+				break
+			}
+		}
+	}
 	// In measured-time mode (ComputeNsPerOp == 0) bound the in-flight
 	// workers to the CPU count, with the clock started only once a slot is
 	// held: each worker's wall time then approximates its own compute
@@ -323,8 +443,12 @@ func (c *Cluster) runDistBlock(b dist.Block, m *Metrics) {
 			}
 			start := time.Now()
 			var st eval.Stats
+			var sink *mring.Relation
+			if sinks != nil {
+				sink = sinks[i]
+			}
 			for _, s := range b.Stmts {
-				st.Add(c.runStmtOn(w, s))
+				st.Add(c.runStmtOn(w, s, sink))
 			}
 			stats[i] = st
 			computes[i] = c.computeTime(st.Lookups+st.Scans+st.Emits, time.Since(start))
@@ -333,6 +457,9 @@ func (c *Cluster) runDistBlock(b dist.Block, m *Metrics) {
 	wg.Wait()
 	var maxCompute, sumCompute time.Duration
 	for i := range c.workers {
+		if sinks != nil {
+			c.watchDelta.Merge(sinks[i])
+		}
 		c.Stats.Add(stats[i])
 		sumCompute += computes[i]
 		if computes[i] > maxCompute {
@@ -358,9 +485,9 @@ func (c *Cluster) computeTime(ops int64, measured time.Duration) time.Duration {
 // runStmtOn evaluates a compute statement against one node's state and
 // returns the evaluation statistics. It only reads shared cluster state
 // (prepareStmts resolved all schemas beforehand) and mutates nothing but
-// the node's own fragments, so concurrent calls on distinct nodes are
-// race-free.
-func (c *Cluster) runStmtOn(n *node, s dist.Stmt) eval.Stats {
+// the node's own fragments (and the caller-private sink), so concurrent
+// calls on distinct nodes are race-free.
+func (c *Cluster) runStmtOn(n *node, s dist.Stmt, sink *mring.Relation) eval.Stats {
 	env := eval.NewEnv()
 	// Bind every relation the statement reads; lazily create fragments.
 	walkRefs(s.RHS, func(r *expr.Rel) {
@@ -369,6 +496,9 @@ func (c *Cluster) runStmtOn(n *node, s dist.Stmt) eval.Stats {
 	})
 	target := n.rel(s.LHS, c.schemas[s.LHS])
 	ctx := eval.NewCtx(env)
+	if sink != nil && s.LHS == c.watch {
+		ctx.CaptureFolds(target, sink)
+	}
 	// FoldStmt runs aggregate statements (pre-aggregations and view
 	// maintenance) through a per-worker hash-native group table over the
 	// node's own fragments; the tables stay worker-local here and meet
@@ -377,8 +507,21 @@ func (c *Cluster) runStmtOn(n *node, s dist.Stmt) eval.Stats {
 	return ctx.Stats
 }
 
+// captureReplace folds an OpSet-style replacement of a watched view copy
+// (old contents swapped for cur) into the batch delta.
+func (c *Cluster) captureReplace(old, cur *mring.Relation) {
+	c.watchDelta.Merge(cur)
+	c.watchDelta.MergeScaled(old, -1)
+}
+
 // applyXform performs the data movement of one transformer statement and
-// returns (total bytes moved, max per-worker bytes).
+// returns (total bytes moved, max per-worker bytes). A transformer whose
+// target is the watched view (the re-evaluation policy's `Q := ...`
+// installs) contributes its replacement diff to the batch delta: at the
+// driver for a gathered local view, per worker — iterated in index
+// order — for scattered/repartitioned distributed views. Broadcast
+// installs of replicated views are not captured here: the driver mirror
+// fold already recorded the identical delta.
 func (c *Cluster) applyXform(lhs string, x *dist.Xform, prog *dist.DistProgram) (int64, int64, error) {
 	src, ok := x.Body.(*expr.Rel)
 	if !ok {
@@ -397,6 +540,7 @@ func (c *Cluster) applyXform(lhs string, x *dist.Xform, prog *dist.DistProgram) 
 		keyPos[i] = p
 	}
 
+	captureWorkers := lhs == c.watch && c.watch != "" && !c.watchDriverSide()
 	var total, maxPer int64
 	switch x.Kind {
 	case dist.XScatter:
@@ -416,6 +560,10 @@ func (c *Cluster) applyXform(lhs string, x *dist.Xform, prog *dist.DistProgram) 
 		frags := c.partition(srcRel, keyPos)
 		for i, w := range c.workers {
 			dst := w.rel(lhs, lhsSchema)
+			var old *mring.Relation
+			if captureWorkers {
+				old = dst.Clone()
+			}
 			dst.Clear()
 			if frags[i] != nil {
 				dst.Merge(frags[i])
@@ -424,6 +572,9 @@ func (c *Cluster) applyXform(lhs string, x *dist.Xform, prog *dist.DistProgram) 
 				if sz > maxPer {
 					maxPer = sz
 				}
+			}
+			if captureWorkers {
+				c.captureReplace(old, dst)
 			}
 		}
 		return total, maxPer, nil
@@ -456,9 +607,16 @@ func (c *Cluster) applyXform(lhs string, x *dist.Xform, prog *dist.DistProgram) 
 		}
 		for i, w := range c.workers {
 			dst := w.rel(lhs, lhsSchema)
+			var old *mring.Relation
+			if captureWorkers {
+				old = dst.Clone()
+			}
 			dst.Clear()
 			if incoming[i] != nil {
 				dst.Merge(incoming[i])
+			}
+			if captureWorkers {
+				c.captureReplace(old, dst)
 			}
 		}
 		_ = srcLoc
@@ -484,23 +642,22 @@ func (c *Cluster) applyXform(lhs string, x *dist.Xform, prog *dist.DistProgram) 
 			gt.MergeRelation(frag)
 		}
 		dst := c.driver.rel(lhs, lhsSchema)
+		var old *mring.Relation
+		if lhs == c.watch && c.watch != "" && c.watchDriverSide() {
+			old = dst.Clone()
+		}
 		dst.Clear()
 		gt.FillRelation(dst)
+		if old != nil {
+			c.captureReplace(old, dst)
+		}
 		return total, maxPer, nil
 	}
 }
 
 // partition splits a relation into per-worker fragments by key hash.
 func (c *Cluster) partition(r *mring.Relation, keyPos []int) []*mring.Relation {
-	out := make([]*mring.Relation, len(c.workers))
-	r.Foreach(func(t mring.Tuple, m float64) {
-		i := c.partIndex(t, keyPos)
-		if out[i] == nil {
-			out[i] = mring.NewRelation(r.Schema())
-		}
-		out[i].Add(t, m)
-	})
-	return out
+	return dist.SplitByKey(r, keyPos, len(c.workers))
 }
 
 // encodeSize serializes through the columnar wire format and returns the

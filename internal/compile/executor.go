@@ -93,6 +93,13 @@ func (ex *Executor) InitFromBases(bases map[string]*mring.Relation) {
 	}
 }
 
+// TableBatch pairs one base relation with its update batch. A slice of
+// them is a multi-table transaction, folded in slice order.
+type TableBatch struct {
+	Table string
+	Batch *mring.Relation
+}
+
 // ApplyBatch runs the trigger for base relation rel with the given update
 // batch (insertions have positive multiplicities, deletions negative).
 func (ex *Executor) ApplyBatch(rel string, batch *mring.Relation) {
@@ -100,6 +107,31 @@ func (ex *Executor) ApplyBatch(rel string, batch *mring.Relation) {
 	if trg == nil {
 		panic(fmt.Sprintf("compile: no trigger for relation %q", rel))
 	}
+	ex.applyBatch(trg, rel, batch, nil)
+}
+
+// ApplyTx folds one multi-table transaction into all maintained views:
+// each table's trigger runs in transaction order, and every change the
+// triggers fold into the top-level result view is captured (via the
+// evaluation layer's fold sinks) into the returned delta relation — the
+// exact per-group result change of this transaction. Applying a
+// transaction is equivalent to applying its batches as sequential
+// single-table batches; the transaction boundary determines what one
+// changefeed delta covers.
+func (ex *Executor) ApplyTx(tx []TableBatch) (*mring.Relation, error) {
+	for _, tb := range tx {
+		if ex.prog.Triggers[tb.Table] == nil {
+			return nil, fmt.Errorf("compile: no trigger for relation %q", tb.Table)
+		}
+	}
+	sink := mring.NewRelation(ex.Result().Schema())
+	for _, tb := range tx {
+		ex.applyBatch(ex.prog.Triggers[tb.Table], tb.Table, tb.Batch, sink)
+	}
+	return sink, nil
+}
+
+func (ex *Executor) applyBatch(trg *Trigger, rel string, batch, sink *mring.Relation) {
 	dn := eval.DeltaName(rel)
 	if ex.SingleTuple {
 		single := mring.NewRelation(batch.Schema())
@@ -109,20 +141,23 @@ func (ex *Executor) ApplyBatch(rel string, batch *mring.Relation) {
 		batch.Foreach(func(t mring.Tuple, m float64) {
 			single.Clear()
 			single.Add(t, m)
-			ex.runTrigger(trg, rel, single)
+			ex.runTrigger(trg, rel, single, sink)
 		})
 		return
 	}
 	for _, pos := range ex.deltaIdx[dn] {
 		batch.EnsureIndex(pos)
 	}
-	ex.runTrigger(trg, rel, batch)
+	ex.runTrigger(trg, rel, batch, sink)
 }
 
-func (ex *Executor) runTrigger(trg *Trigger, rel string, batch *mring.Relation) {
+func (ex *Executor) runTrigger(trg *Trigger, rel string, batch, sink *mring.Relation) {
 	ex.env.Bind(eval.DeltaName(rel), batch)
 	ctx := eval.NewCtx(ex.env)
 	ctx.Tracer = ex.Tracer
+	if sink != nil {
+		ctx.CaptureFolds(ex.views[ex.prog.QueryName], sink)
+	}
 	for _, s := range trg.Stmts {
 		// FoldStmt materializes the RHS before the target mutates (so
 		// self-references observe a consistent pre-statement state) and

@@ -50,6 +50,29 @@ func ChoosePartitioning(prog *compile.Program, keyRanks map[string]int) PartInfo
 	return parts
 }
 
+// PlaceIndex is the platform's placement function: the worker index
+// owning tuple t under the partition-key columns at keyPos, for n
+// workers. It is the single definition shared by the shuffle
+// transformers and the warm-start initial load, so data loaded before
+// streaming lands exactly where repartitioned data would.
+func PlaceIndex(t mring.Tuple, keyPos []int, n int) int {
+	return int(t.HashCols(keyPos) % uint64(n))
+}
+
+// SplitByKey hash-partitions r into n fragments with PlaceIndex.
+// Fragments a tuple never landed in are nil.
+func SplitByKey(r *mring.Relation, keyPos []int, n int) []*mring.Relation {
+	out := make([]*mring.Relation, n)
+	r.Foreach(func(t mring.Tuple, m float64) {
+		i := PlaceIndex(t, keyPos, n)
+		if out[i] == nil {
+			out[i] = mring.NewRelation(r.Schema())
+		}
+		out[i].Add(t, m)
+	})
+	return out
+}
+
 func chooseViewLoc(v *compile.ViewDef, keyRanks map[string]int) Loc {
 	if len(v.Schema) == 0 {
 		if v.Transient {

@@ -139,6 +139,9 @@ type Ctx struct {
 	// groupHash overrides group-table key hashing in tests (forcing
 	// collision chains on the aggregation path); nil means Tuple.Hash.
 	groupHash func(mring.Tuple) uint64
+	// foldSinks maps watched fold targets to delta sinks (CaptureFolds);
+	// nil when nothing is watched.
+	foldSinks map[*mring.Relation]*mring.Relation
 }
 
 // NewCtx returns a fresh evaluation context over env.
@@ -542,6 +545,21 @@ func (c *Ctx) MaterializeGroups(a *expr.Agg) *mring.GroupTable {
 	return gt
 }
 
+// CaptureFolds registers sink as the delta observer of target: every
+// subsequent FoldStmt into target additionally folds the applied change
+// into sink (the changefeed's delta emission hook). An OpAdd fold mirrors
+// the folded groups exactly — the same float values, in the same order —
+// so captured deltas are bitwise what the target received; an OpSet fold
+// records new-minus-old contents. Sinks accumulate across statements
+// (Relation.Add semantics), so contributions that cancel within one
+// transaction never surface.
+func (c *Ctx) CaptureFolds(target, sink *mring.Relation) {
+	if c.foldSinks == nil {
+		c.foldSinks = make(map[*mring.Relation]*mring.Relation, 1)
+	}
+	c.foldSinks[target] = sink
+}
+
 // FoldStmt evaluates rhs with no outer bindings and folds it into target
 // under op — the one statement fold shared by the local executor and the
 // cluster workers. A top-level aggregate (every pre-aggregation
@@ -552,6 +570,13 @@ func (c *Ctx) MaterializeGroups(a *expr.Agg) *mring.GroupTable {
 // fully materialized before target mutates, so self-references observe a
 // consistent pre-statement state.
 func (c *Ctx) FoldStmt(target *mring.Relation, op AssignOp, rhs expr.Expr) {
+	sink := c.foldSinks[target]
+	var old *mring.Relation
+	if sink != nil && op == OpSet {
+		// Replacement folds (the re-evaluation policy) record the diff; the
+		// pre-statement clone is paid only on watched targets.
+		old = target.Clone()
+	}
 	if a, ok := rhs.(*expr.Agg); ok {
 		gt := c.MaterializeGroups(a)
 		if op == OpSet {
@@ -559,14 +584,24 @@ func (c *Ctx) FoldStmt(target *mring.Relation, op AssignOp, rhs expr.Expr) {
 			gt.FillRelation(target)
 		} else {
 			gt.AppendTo(target)
+			if sink != nil {
+				gt.AppendTo(sink)
+			}
 		}
-		return
+	} else {
+		tmp := c.Materialize(rhs)
+		if op == OpSet {
+			target.Clear()
+		}
+		target.Merge(tmp)
+		if sink != nil && op == OpAdd {
+			sink.Merge(tmp)
+		}
 	}
-	tmp := c.Materialize(rhs)
-	if op == OpSet {
-		target.Clear()
+	if old != nil {
+		sink.Merge(target)
+		sink.MergeScaled(old, -1)
 	}
-	target.Merge(tmp)
 }
 
 // EvalIntoOp applies op to target for every tuple produced by e.

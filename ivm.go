@@ -8,23 +8,36 @@
 // a compiler that turns local trigger programs into distributed programs
 // for a synchronous driver/worker platform.
 //
-// Quick start:
+// One Engine type fronts both execution planes; functional options pick
+// and configure the backend:
 //
 //	q := ivm.Sum([]string{"b"}, ivm.Join(
 //	        ivm.Table("R", "a", "b"), ivm.Table("S", "b", "c")))
-//	eng, err := ivm.NewEngine("Q", q, map[string]ivm.Schema{
-//	        "R": {"a", "b"}, "S": {"b", "c"},
+//	bases := map[string]ivm.Schema{"R": {"a", "b"}, "S": {"b", "c"}}
+//
+//	eng, err := ivm.New("Q", q, bases)                        // single node
+//	eng, err = ivm.New("Q", q, bases,
+//	        ivm.Distributed(16), ivm.KeyRanks(ranks))         // simulated cluster
+//
+// Updates apply either as single-table batches or as atomic multi-table
+// transactions, and a changefeed delivers the per-transaction result
+// deltas:
+//
+//	eng.Subscribe(func(d ivm.Delta) {
+//	        d.Foreach(func(group ivm.Tuple, change float64) { ... })
 //	})
-//	batch := ivm.NewBatch(ivm.Schema{"a", "b"})
-//	batch.Insert(ivm.Row(1, 10))
-//	eng.ApplyBatch("R", batch)
-//	result := eng.Result() // always fresh
+//	tx := eng.NewTx()
+//	tx.Insert("R", ivm.Row(1, 10))
+//	tx.Insert("S", ivm.Row(10, 7))
+//	err = eng.Apply(tx)        // both deltas fold in one maintenance step
+//	result := eng.Result()     // always fresh
 package ivm
 
 import (
-	"repro/internal/cluster"
+	"fmt"
+	"math"
+
 	"repro/internal/compile"
-	"repro/internal/dist"
 	"repro/internal/eval"
 	"repro/internal/expr"
 	"repro/internal/mring"
@@ -103,22 +116,62 @@ var (
 	Str   = mring.Str
 )
 
-// Row builds a tuple from ints, floats, and strings.
-func Row(vs ...any) Tuple {
+// RowE builds a tuple from Go scalars, returning an error on an
+// unsupported type (so data loaders can surface bad input instead of
+// crashing). Accepted: every signed and unsigned integer type (uint and
+// uint64 must fit in int64), float32, float64, string, and Value.
+func RowE(vs ...any) (Tuple, error) {
 	t := make(Tuple, len(vs))
 	for i, v := range vs {
 		switch x := v.(type) {
 		case int:
 			t[i] = mring.Int(int64(x))
+		case int8:
+			t[i] = mring.Int(int64(x))
+		case int16:
+			t[i] = mring.Int(int64(x))
+		case int32:
+			t[i] = mring.Int(int64(x))
 		case int64:
 			t[i] = mring.Int(x)
+		case uint:
+			if uint64(x) > math.MaxInt64 {
+				return nil, fmt.Errorf("ivm: Row value %d at position %d overflows int64", x, i)
+			}
+			t[i] = mring.Int(int64(x))
+		case uint8:
+			t[i] = mring.Int(int64(x))
+		case uint16:
+			t[i] = mring.Int(int64(x))
+		case uint32:
+			t[i] = mring.Int(int64(x))
+		case uint64:
+			if x > math.MaxInt64 {
+				return nil, fmt.Errorf("ivm: Row value %d at position %d overflows int64", x, i)
+			}
+			t[i] = mring.Int(int64(x))
+		case float32:
+			t[i] = mring.Float(float64(x))
 		case float64:
 			t[i] = mring.Float(x)
 		case string:
 			t[i] = mring.Str(x)
+		case mring.Value:
+			t[i] = x
 		default:
-			panic("ivm: Row accepts int, int64, float64, string")
+			return nil, fmt.Errorf("ivm: Row does not accept %T (position %d)", v, i)
 		}
+	}
+	return t, nil
+}
+
+// Row builds a tuple from Go scalars (integers, floats, strings, and
+// Values); it panics on an unsupported type. Use RowE to get an error
+// instead.
+func Row(vs ...any) Tuple {
+	t, err := RowE(vs...)
+	if err != nil {
+		panic(err)
 	}
 	return t
 }
@@ -132,77 +185,56 @@ func NewBatch(schema Schema) *Batch {
 	return &Batch{rel: mring.NewRelation(schema)}
 }
 
-// Insert adds one insertion.
-func (b *Batch) Insert(t Tuple) { b.rel.Add(t, 1) }
+// arityCheck rejects tuples that do not match the batch schema, instead
+// of corrupting downstream evaluation.
+func (b *Batch) arityCheck(t Tuple) error {
+	if len(t) != len(b.rel.Schema()) {
+		return fmt.Errorf("ivm: tuple %v has arity %d, batch schema %v wants %d",
+			t, len(t), []string(b.rel.Schema()), len(b.rel.Schema()))
+	}
+	return nil
+}
 
-// Delete adds one deletion.
-func (b *Batch) Delete(t Tuple) { b.rel.Add(t, -1) }
+// Insert adds one insertion. Tuples whose arity mismatches the batch
+// schema are rejected with an error.
+func (b *Batch) Insert(t Tuple) error {
+	if err := b.arityCheck(t); err != nil {
+		return err
+	}
+	b.rel.Add(t, 1)
+	return nil
+}
 
-// Change adds a tuple with an explicit multiplicity delta.
-func (b *Batch) Change(t Tuple, delta float64) { b.rel.Add(t, delta) }
+// Delete adds one deletion (arity-checked like Insert).
+func (b *Batch) Delete(t Tuple) error {
+	if err := b.arityCheck(t); err != nil {
+		return err
+	}
+	b.rel.Add(t, -1)
+	return nil
+}
+
+// Change adds a tuple with an explicit multiplicity delta (arity-checked
+// like Insert).
+func (b *Batch) Change(t Tuple, delta float64) error {
+	if err := b.arityCheck(t); err != nil {
+		return err
+	}
+	b.rel.Add(t, delta)
+	return nil
+}
 
 // Len returns the number of distinct changed tuples.
 func (b *Batch) Len() int { return b.rel.Len() }
 
-// Engine maintains one query incrementally on a single node.
-type Engine struct {
-	prog *compile.Program
-	ex   *compile.Executor
-}
+// Schema returns the batch's column names.
+func (b *Batch) Schema() Schema { return b.rel.Schema() }
 
-// NewEngine compiles the query with the paper's default options
-// (domain extraction, batch pre-aggregation, re-evaluation for
-// uncorrelated nesting) and returns an engine over empty tables.
-func NewEngine(name string, query Expr, bases map[string]Schema) (*Engine, error) {
-	return NewEngineWithOptions(name, query, bases, compile.DefaultOptions())
-}
-
-// NewEngineWithOptions compiles with explicit options.
-func NewEngineWithOptions(name string, query Expr, bases map[string]Schema, opts Options) (*Engine, error) {
-	prog, err := compile.Compile(name, query, bases, opts)
-	if err != nil {
-		return nil, err
-	}
-	return &Engine{prog: prog, ex: compile.NewExecutor(prog)}, nil
-}
-
-// Program returns the compiled maintenance program (its String method
-// renders the view hierarchy and triggers).
-func (e *Engine) Program() *Program { return e.prog }
-
-// SetSingleTuple switches to tuple-at-a-time processing (the comparison
-// mode of Sec. 3.3).
-func (e *Engine) SetSingleTuple(on bool) { e.ex.SingleTuple = on }
-
-// ApplyBatch folds one update batch into all maintained views.
-func (e *Engine) ApplyBatch(table string, b *Batch) {
-	e.ex.ApplyBatch(table, b.rel)
-}
-
-// Stats returns the evaluation statistics accumulated across batches.
-func (e *Engine) Stats() Stats { return e.ex.Stats }
-
-// LoadTable initializes a base table before streaming (static
-// dimensions); call before any ApplyBatch.
-func (e *Engine) LoadTable(tables map[string]*Batch) {
-	init := map[string]*mring.Relation{}
-	for n, s := range e.prog.Bases {
-		if b, ok := tables[n]; ok {
-			init[n] = b.rel
-		} else {
-			init[n] = mring.NewRelation(s)
-		}
-	}
-	e.ex.InitFromBases(init)
-}
-
-// Result returns the maintained query result. Iterate with Foreach.
-func (e *Engine) Result() *Result { return &Result{rel: e.ex.Result()} }
-
-// Result is a read view over maintained contents.
+// Result is a read view over the maintained query result.
 type Result struct{ rel *mring.Relation }
 
-// Foreach visits every result tuple with its aggregate value.
+// Foreach visits every result tuple with its aggregate value, in the
+// deterministic sorted tuple order.
 func (r *Result) Foreach(f func(t Tuple, agg float64)) { r.rel.ForeachSorted(f) }
 
 // Get returns the aggregate value for one group.
@@ -213,67 +245,3 @@ func (r *Result) Len() int { return r.rel.Len() }
 
 // String renders the result deterministically.
 func (r *Result) String() string { return r.rel.String() }
-
-// DistributedEngine runs the same program on the simulated synchronous
-// cluster (Sec. 4): views are partitioned by the paper's heuristic and
-// batches are processed through compiled distributed trigger programs.
-type DistributedEngine struct {
-	prog   *compile.Program
-	parts  dist.PartInfo
-	dprogs map[string]*dist.DistProgram
-	cl     *cluster.Cluster
-	name   string
-	// Metrics accumulates virtual platform costs across batches.
-	Metrics cluster.Metrics
-}
-
-// NewDistributedEngine compiles and deploys the query across the given
-// number of simulated workers. keyRanks ranks partition-key columns by
-// table cardinality (see tpch.PrimaryKeyRanks for the benchmark's).
-func NewDistributedEngine(name string, query Expr, bases map[string]Schema, workers int, keyRanks map[string]int) (*DistributedEngine, error) {
-	prog, err := compile.Compile(name, query, bases, compile.DefaultOptions())
-	if err != nil {
-		return nil, err
-	}
-	parts := dist.ChoosePartitioning(prog, keyRanks)
-	dprogs := dist.CompileProgram(prog, parts, dist.O3)
-	cl := cluster.New(cluster.DefaultConfig(workers), dist.ViewSchemas(prog), parts)
-	return &DistributedEngine{prog: prog, parts: parts, dprogs: dprogs, cl: cl, name: name}, nil
-}
-
-// ApplyBatch spreads the batch over the workers and runs the distributed
-// trigger; the returned metrics describe this batch's virtual cost.
-func (e *DistributedEngine) ApplyBatch(table string, b *Batch) (cluster.Metrics, error) {
-	workers := e.cl.Workers()
-	frags := make([]*mring.Relation, workers)
-	for i := range frags {
-		frags[i] = mring.NewRelation(b.rel.Schema())
-	}
-	i := 0
-	b.rel.Foreach(func(t Tuple, m float64) {
-		frags[i%workers].Add(t, m)
-		i++
-	})
-	m, err := e.cl.RunPartitioned(e.dprogs[table], frags)
-	if err != nil {
-		return m, err
-	}
-	e.Metrics.Add(m)
-	return m, nil
-}
-
-// Result merges the distributed view fragments into the full result.
-func (e *DistributedEngine) Result() *Result {
-	return &Result{rel: e.cl.ViewContents(e.name)}
-}
-
-// Stats returns the evaluation statistics accumulated across all nodes
-// (per-worker contributions are merged deterministically after each
-// stage barrier, so the totals are reproducible despite the workers
-// running on concurrent goroutines).
-func (e *DistributedEngine) Stats() Stats { return e.cl.Stats }
-
-// TriggerProgram renders the distributed program for one base table.
-func (e *DistributedEngine) TriggerProgram(table string) string {
-	return e.dprogs[table].String()
-}

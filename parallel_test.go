@@ -25,11 +25,11 @@ func TestParallelWorkersMatchSingleNode(t *testing.T) {
 			for tbl, s := range q.BaseSchemas() {
 				bases[tbl] = s
 			}
-			local, err := NewEngine(q.Name, q.Def, bases)
+			local, err := New(q.Name, q.Def, bases)
 			if err != nil {
 				t.Fatal(err)
 			}
-			distd, err := NewDistributedEngine(q.Name, q.Def, bases, workers, tpch.PrimaryKeyRanks)
+			distd, err := New(q.Name, q.Def, bases, Distributed(workers), KeyRanks(tpch.PrimaryKeyRanks))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -43,8 +43,10 @@ func TestParallelWorkersMatchSingleNode(t *testing.T) {
 				}
 				for _, b := range bs {
 					batch := &Batch{rel: b.Rel}
-					local.ApplyBatch(b.Table, batch)
-					if _, err := distd.ApplyBatch(b.Table, batch); err != nil {
+					if err := local.ApplyBatch(b.Table, batch); err != nil {
+						t.Fatal(err)
+					}
+					if err := distd.ApplyBatch(b.Table, batch); err != nil {
 						t.Fatal(err)
 					}
 					batches++
@@ -77,7 +79,7 @@ func TestParallelWorkerScaling(t *testing.T) {
 	results := make([]*mring.Relation, 0, 3)
 	for _, workers := range []int{1, 8, 16} {
 		t.Run(fmt.Sprintf("w=%d", workers), func(t *testing.T) {
-			eng, err := NewDistributedEngine(q.Name, q.Def, bases, workers, tpch.PrimaryKeyRanks)
+			eng, err := New(q.Name, q.Def, bases, Distributed(workers), KeyRanks(tpch.PrimaryKeyRanks))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -89,7 +91,7 @@ func TestParallelWorkerScaling(t *testing.T) {
 					break
 				}
 				for _, b := range bs {
-					if _, err := eng.ApplyBatch(b.Table, &Batch{rel: b.Rel}); err != nil {
+					if err := eng.ApplyBatch(b.Table, &Batch{rel: b.Rel}); err != nil {
 						t.Fatal(err)
 					}
 				}
