@@ -1,18 +1,27 @@
 # Local targets mirror .github/workflows/ci.yml exactly.
 
 GO ?= go
-# PR number stamped into the benchmark report filename (BENCH_<PR>.json).
-PR ?= 4
+# PR number stamped into the benchmark report filename (BENCH_<PR>.json):
+# one past the newest committed report, so a fresh `make bench-json`
+# never overwrites history by default. Override with PR=<n>.
+LATEST_PR := $(lastword $(sort $(patsubst BENCH_%.json,%,$(wildcard BENCH_*.json))))
+PR ?= $(if $(LATEST_PR),$(shell expr $(LATEST_PR) + 1),1)
 # Baseline report the new measurements are diffed against; a >15% drop
-# of the RelationAddGet or AggGroupUpdate speedup ratio (native over
-# string-keyed reference, both measured in the same run, so the ratio is
-# hardware-independent) fails the target. Points at the newest committed
-# report — the one recording both ratios (BENCH_2.json predates
-# AggGroupUpdate); benchjson loads it before overwriting the output
-# file, so self-diffing BENCH_4 against its committed copy is sound.
-BENCH_BASELINE ?= BENCH_4.json
+# of a tracked speedup ratio (native over reference, both measured in
+# the same run, so the ratio is hardware-independent) fails the target.
+# Defaults to the newest committed report; benchjson loads it before
+# overwriting the output file, so self-diffing a report against its
+# committed copy is sound. Skipped when no report exists yet.
+BENCH_BASELINE ?= $(if $(LATEST_PR),BENCH_$(LATEST_PR).json,)
+BENCH_BASELINE_FLAG := $(if $(wildcard $(BENCH_BASELINE)),-baseline $(BENCH_BASELINE),)
 
-.PHONY: build test lint bench bench-json api check-api ci
+# staticcheck runs from a pinned version so local and CI findings agree.
+# `go run` resolves it from the module proxy; offline environments skip
+# it with a warning unless STATICCHECK_STRICT=1 (what CI sets).
+STATICCHECK := honnef.co/go/tools/cmd/staticcheck@2025.1.1
+STATICCHECK_STRICT ?= 0
+
+.PHONY: build test lint fuzz bench bench-json api check-api ci
 
 build:
 	$(GO) build ./...
@@ -24,6 +33,20 @@ lint:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; fi
 	$(GO) vet ./...
+	@if $(GO) run $(STATICCHECK) -version >/dev/null 2>&1; then \
+		$(GO) run $(STATICCHECK) ./...; \
+	elif [ "$(STATICCHECK_STRICT)" = "1" ]; then \
+		echo "staticcheck $(STATICCHECK) could not be resolved" >&2; exit 1; \
+	else \
+		echo "warning: staticcheck unavailable (offline?); skipping" >&2; \
+	fi
+
+# fuzz exercises the decode/hash attack surfaces for 30s each, same as
+# the CI fuzz job: the wire decoder must never panic on arbitrary bytes,
+# and the columnar hash kernels must agree with the row-wise hashes.
+fuzz:
+	$(GO) test -run='^$$' -fuzz='^FuzzHashColsKeyEqual$$' -fuzztime=30s ./internal/mring
+	$(GO) test -run='^$$' -fuzz='^FuzzColBatchDecode$$' -fuzztime=30s ./internal/pool
 
 bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x . ./internal/bench/
@@ -43,10 +66,11 @@ check-api:
 # BENCH_$(PR).json (query, batch size, tuples/sec, shuffled bytes), and
 # diffs the tracked microbenchmark speedup ratios against
 # $(BENCH_BASELINE): the target (and the CI job) fails when the
-# RelationAddGet or AggGroupUpdate ratio drops more than 15%, or when
-# AggGroupUpdate falls below its 1.5x acceptance floor.
+# RelationAddGet, AggGroupUpdate, ColFilter, or ColFold ratio drops more
+# than 15%, when AggGroupUpdate falls below its 1.5x acceptance floor,
+# or when neither columnar kernel ratio clears its 1.3x floor.
 bench-json:
-	$(GO) run ./cmd/benchjson -pr $(PR) -out BENCH_$(PR).json -baseline $(BENCH_BASELINE)
+	$(GO) run ./cmd/benchjson -pr $(PR) -out BENCH_$(PR).json $(BENCH_BASELINE_FLAG)
 
 ci: lint build test check-api
 	@$(MAKE) bench || echo "warning: benchmark smoke pass failed"

@@ -28,7 +28,10 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/compile"
 	"repro/internal/dist"
+	"repro/internal/eval"
+	"repro/internal/expr"
 	"repro/internal/mring"
+	"repro/internal/pool"
 	"repro/internal/tpch"
 )
 
@@ -54,6 +57,14 @@ type Report struct {
 	// AggGroupSpeedup is group-table ops/sec over the string-keyed
 	// group-map reference's (the PR 4 acceptance criterion tracks ≥1.5x).
 	AggGroupSpeedup float64 `json:"agggroup_speedup,omitempty"`
+	// ColFilterSpeedup is the selection-vector predicate kernel's rows/sec
+	// over a tuple-at-a-time Value-compare scan of the same data.
+	ColFilterSpeedup float64 `json:"colfilter_speedup,omitempty"`
+	// ColFoldSpeedup is the full vectorized FoldStmt (filter + multiply +
+	// group fold, mirror rebuilt every fold) over the row-wise interpreter
+	// on the same statement. The PR 6 acceptance criterion tracks the
+	// better of the two columnar ratios at ≥1.3x.
+	ColFoldSpeedup float64 `json:"colfold_speedup,omitempty"`
 }
 
 // stringKeyedRelation is the pre-refactor reference storage: a map from
@@ -221,6 +232,117 @@ func benchAggGroup() (stringKeyed, groupTable float64) {
 	return stringKeyed, groupTable
 }
 
+// sinkLen defeats dead-code elimination in the columnar micros.
+var sinkLen int
+
+// colBenchSchema is the Q6-shaped scan workload: ship date (int, small
+// domain so group-bys stay realistic), quantity, discount, and price.
+var colBenchSchema = mring.Schema{"sdate", "qty", "disc", "price"}
+
+func colBenchRelation(n int) *mring.Relation {
+	r := mring.NewRelation(colBenchSchema)
+	for i := 0; i < n; i++ {
+		r.Add(mring.Tuple{
+			mring.Int(19930101 + int64(i%2500)),
+			mring.Float(float64(i%50) + 0.5),
+			mring.Float(float64(i%11) * 0.01),
+			mring.Float(float64(i%977) * 1.25),
+		}, 1)
+	}
+	return r
+}
+
+// benchColFilter measures ColFilter: the Q6 predicate chain as selection-
+// vector kernels over a columnar batch vs. the tuple-at-a-time
+// Value-compare scan the row path performs, on identical data.
+func benchColFilter() (rowwise, kernel float64) {
+	const n = 32768
+	rel := colBenchRelation(n)
+	batch := pool.MirrorOf(rel).Base()
+	tuples := make([]mring.Tuple, 0, batch.Len())
+	rel.Foreach(func(t mring.Tuple, _ float64) { tuples = append(tuples, t.Clone()) })
+
+	preds := []pool.Pred{
+		{Col: 0, Op: pool.PGe, Lit: mring.Int(19940101)},
+		{Col: 0, Op: pool.PLt, Lit: mring.Int(19950101)},
+		{Col: 1, Op: pool.PLt, Lit: mring.Float(24)},
+	}
+	cmps := []expr.CmpOp{expr.CGe, expr.CLt, expr.CLt}
+
+	rowwise = measure(time.Second, len(tuples), func() {
+		survivors := 0
+		for _, t := range tuples {
+			keep := true
+			for k := range preds {
+				if !expr.EvalCmp(cmps[k], t[preds[k].Col], preds[k].Lit) {
+					keep = false
+					break
+				}
+			}
+			if keep {
+				survivors++
+			}
+		}
+		sinkLen = survivors
+	})
+	identity := pool.NewSel(batch.Len())
+	scratch := make(pool.Sel, batch.Len())
+	kernel = measure(time.Second, batch.Len(), func() {
+		sel := scratch[:copy(scratch, identity)]
+		for _, p := range preds {
+			sel = batch.FilterPred(p, sel)
+		}
+		sinkLen = len(sel)
+	})
+	return rowwise, kernel
+}
+
+// benchColFold measures ColFold: one full FoldStmt of a Q6-shaped
+// pre-aggregation (date-grouped revenue with the Q6 predicates) through
+// eval's row-wise interpreter vs. its vectorized kernel dispatch. The
+// kernel side drops the relation's columnar mirror before every fold, so
+// the ratio charges the column conversion — the steady state, where the
+// mirror survives across folds, is faster still.
+func benchColFold() (rowwise, kernel float64) {
+	const n = 32768
+	env := eval.NewEnv()
+	env.Bind("R", colBenchRelation(n))
+	rel := env.Rel("R")
+	stmt := expr.Sum([]string{"sdate"}, expr.Join(
+		expr.Base("R", colBenchSchema...),
+		expr.CmpE(expr.CGe, expr.V("sdate"), expr.LitI(19940101)),
+		expr.CmpE(expr.CLt, expr.V("sdate"), expr.LitI(19950101)),
+		expr.CmpE(expr.CLt, expr.V("qty"), expr.LitI(24)),
+		expr.ValE(expr.MulV(expr.V("price"), expr.V("disc"))),
+	))
+	tgtSchema := mring.Schema{"sdate"}
+
+	rowCtx := eval.NewCtx(env)
+	rowCtx.DisableKernels = true
+	rowwise = measure(time.Second, rel.Len(), func() {
+		tgt := mring.NewRelation(tgtSchema)
+		rowCtx.FoldStmt(tgt, eval.OpAdd, stmt)
+		sinkLen = tgt.Len()
+	})
+	kerCtx := eval.NewCtx(env)
+	kernel = measure(time.Second, rel.Len(), func() {
+		rel.SetScratch(nil) // rebuild the mirror: charge the conversion
+		tgt := mring.NewRelation(tgtSchema)
+		kerCtx.FoldStmt(tgt, eval.OpAdd, stmt)
+		sinkLen = tgt.Len()
+	})
+	if kerCtx.KernelFolds == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: ColFold never dispatched to the kernel path")
+		os.Exit(1)
+	}
+	return rowwise, kernel
+}
+
+// colKernelFloor is the ISSUE 6 acceptance criterion: at least one
+// scan-heavy columnar kernel must clear 1.3x over its row-wise reference
+// measured in the same run.
+const colKernelFloor = 1.3
+
 // aggSpeedupFloor is the ISSUE 4 acceptance criterion: the group table
 // must stay ≥1.5x over the string-keyed reference aggregator. main
 // enforces it on every run — with or without -baseline — because the
@@ -293,6 +415,8 @@ func diffBaseline(rep Report, base Report, baselinePath string, maxDrop float64)
 	}
 	check("RelationAddGet", base.AddGetSpeedup, rep.AddGetSpeedup)
 	check("AggGroupUpdate", base.AggGroupSpeedup, rep.AggGroupSpeedup)
+	check("ColFilter", base.ColFilterSpeedup, rep.ColFilterSpeedup)
+	check("ColFold", base.ColFoldSpeedup, rep.ColFoldSpeedup)
 	if len(failures) > 0 {
 		return fmt.Errorf("%s", strings.Join(failures, "; "))
 	}
@@ -433,6 +557,22 @@ func main() {
 	rep.AggGroupSpeedup = agt / ask
 	fmt.Printf("AggGroupUpdate: string-keyed %.0f ops/sec, group-table %.0f ops/sec (%.2fx)\n", ask, agt, rep.AggGroupSpeedup)
 
+	frow, fker := medianRatioRep(benchColFilter)
+	rep.Results = append(rep.Results,
+		Result{Name: "ColFilter/row-wise", OpsPerSec: frow},
+		Result{Name: "ColFilter/kernel", OpsPerSec: fker},
+	)
+	rep.ColFilterSpeedup = fker / frow
+	fmt.Printf("ColFilter: row-wise %.0f rows/sec, kernel %.0f rows/sec (%.2fx)\n", frow, fker, rep.ColFilterSpeedup)
+
+	grow, gker := medianRatioRep(benchColFold)
+	rep.Results = append(rep.Results,
+		Result{Name: "ColFold/row-wise", OpsPerSec: grow},
+		Result{Name: "ColFold/kernel", OpsPerSec: gker},
+	)
+	rep.ColFoldSpeedup = gker / grow
+	fmt.Printf("ColFold: row-wise %.0f rows/sec, kernel %.0f rows/sec (%.2fx)\n", grow, gker, rep.ColFoldSpeedup)
+
 	for _, name := range []string{"Q3", "Q6"} {
 		r, err := benchLocalStream(name, *sf, 1000)
 		if err != nil {
@@ -468,6 +608,11 @@ func main() {
 	if rep.AggGroupSpeedup < aggSpeedupFloor {
 		fmt.Fprintf(os.Stderr, "benchjson: AggGroupUpdate speedup %.2fx below the %.1fx acceptance floor\n",
 			rep.AggGroupSpeedup, aggSpeedupFloor)
+		os.Exit(1)
+	}
+	if rep.ColFilterSpeedup < colKernelFloor && rep.ColFoldSpeedup < colKernelFloor {
+		fmt.Fprintf(os.Stderr, "benchjson: no columnar kernel cleared the %.1fx floor (ColFilter %.2fx, ColFold %.2fx)\n",
+			colKernelFloor, rep.ColFilterSpeedup, rep.ColFoldSpeedup)
 		os.Exit(1)
 	}
 	if *baseline != "" {

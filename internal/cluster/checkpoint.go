@@ -49,7 +49,7 @@ func (c *Cluster) Checkpoint() *Checkpoint {
 			if r == nil || r.Len() == 0 {
 				continue
 			}
-			b := pool.FromRelation(r).Encode()
+			b := pool.EncodeRelation(r)
 			out[name] = b
 			cp.Bytes += int64(len(b))
 		}

@@ -362,7 +362,7 @@ func (c *Cluster) runLocalBlock(b dist.Block, prog *dist.DistProgram, m *Metrics
 	var st eval.Stats
 	for _, s := range b.Stmts {
 		if x, ok := s.RHS.(*dist.Xform); ok {
-			bytes, maxPer, err := c.applyXform(s.LHS, x, prog)
+			bytes, maxPer, err := c.applyXform(s.LHS, x)
 			if err != nil {
 				return err
 			}
@@ -522,7 +522,7 @@ func (c *Cluster) captureReplace(old, cur *mring.Relation) {
 // order — for scattered/repartitioned distributed views. Broadcast
 // installs of replicated views are not captured here: the driver mirror
 // fold already recorded the identical delta.
-func (c *Cluster) applyXform(lhs string, x *dist.Xform, prog *dist.DistProgram) (int64, int64, error) {
+func (c *Cluster) applyXform(lhs string, x *dist.Xform) (int64, int64, error) {
 	src, ok := x.Body.(*expr.Rel)
 	if !ok {
 		return 0, 0, fmt.Errorf("cluster: transformer body is not a view reference: %s", x)
@@ -530,7 +530,6 @@ func (c *Cluster) applyXform(lhs string, x *dist.Xform, prog *dist.DistProgram) 
 	srcName := eval.RelEnvName(src)
 	srcSchema := c.schemaOf(srcName, src.Cols)
 	lhsSchema := c.schemaOf(lhs, srcSchema)
-	srcLoc := prog.Parts[srcName]
 	keyPos := make([]int, len(x.Key))
 	for i, k := range x.Key {
 		p := src.Cols.Index(k)
@@ -546,12 +545,16 @@ func (c *Cluster) applyXform(lhs string, x *dist.Xform, prog *dist.DistProgram) 
 	case dist.XScatter:
 		srcRel := c.driver.rel(srcName, srcSchema)
 		if len(x.Key) == 0 {
-			// Broadcast: replicate to every worker.
+			// Broadcast: encode once, install the columnar payload on every
+			// worker. The decoded batch IS the replica's mirror, so the
+			// workers hold the fragment columnar from the start — kernel
+			// scans and later re-encodes reuse it with no conversion.
 			payload := encodeSize(srcRel)
+			fb := fragmentBatch(srcRel)
 			for _, w := range c.workers {
 				dst := w.rel(lhs, lhsSchema)
 				dst.Clear()
-				dst.Merge(srcRel)
+				installFragment(dst, srcRel, fb)
 				total += payload
 			}
 			maxPer = payload
@@ -566,8 +569,8 @@ func (c *Cluster) applyXform(lhs string, x *dist.Xform, prog *dist.DistProgram) 
 			}
 			dst.Clear()
 			if frags[i] != nil {
-				dst.Merge(frags[i])
 				sz := encodeSize(frags[i])
+				installFragment(dst, frags[i], fragmentBatch(frags[i]))
 				total += sz
 				if sz > maxPer {
 					maxPer = sz
@@ -619,7 +622,6 @@ func (c *Cluster) applyXform(lhs string, x *dist.Xform, prog *dist.DistProgram) 
 				c.captureReplace(old, dst)
 			}
 		}
-		_ = srcLoc
 		return total, maxPer, nil
 	default: // Gather
 		// The workers' pre-aggregated fragments merge into one group
@@ -661,12 +663,44 @@ func (c *Cluster) partition(r *mring.Relation, keyPos []int) []*mring.Relation {
 }
 
 // encodeSize serializes through the columnar wire format and returns the
-// payload size — the measured network traffic.
+// payload size — the measured network traffic. The encode attaches (and
+// reuses) the relation's columnar mirror, so fragmentBatch right after it
+// is free.
 func encodeSize(r *mring.Relation) int64 {
 	if r.Len() == 0 {
 		return 0
 	}
-	return int64(len(pool.FromRelation(r).Encode()))
+	return int64(len(pool.EncodeRelation(r)))
+}
+
+// fragmentBatch returns the columnar form a shuffle ships for r, or nil
+// when r cannot be represented losslessly (mixed-kind columns) and the
+// fragment must move by row-format reference instead.
+func fragmentBatch(r *mring.Relation) *pool.ColBatch {
+	if r.Len() == 0 {
+		return nil
+	}
+	if ov := pool.MirrorOf(r); ov != nil {
+		return ov.Base()
+	}
+	return nil
+}
+
+// installFragment fills the just-cleared dst with the shipped fragment.
+// With a columnar payload the rows merge straight from the batch and the
+// batch becomes dst's mirror (the receiver keeps the fragment columnar);
+// otherwise the rows merge from the source relation as before. Either way
+// rows land in the source's Foreach order, so dst's storage is bitwise
+// independent of which path ran.
+func installFragment(dst, src *mring.Relation, batch *pool.ColBatch) {
+	if batch == nil {
+		dst.Merge(src)
+		return
+	}
+	batch.MergeInto(dst)
+	if dst.Len() == batch.Len() {
+		pool.AttachMirror(dst, batch)
+	}
 }
 
 // walkRefs visits every relational reference in an expression (descending

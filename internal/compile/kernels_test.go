@@ -1,0 +1,64 @@
+package compile
+
+import (
+	"testing"
+
+	"repro/internal/tpch"
+)
+
+// TestKernelStmtsCoverTPCHPreAggregates pins the compiler's static
+// kernel-coverage analysis on the scan-heavy TPC-H queries: every
+// single-relation pre-aggregation statement of Q1 and Q6 — the delta
+// pre-aggregation in the lineitem trigger and the warm-start scan —
+// must be detected as kernel-eligible, so the runtime's columnar path
+// has something to dispatch on the queries the paper measures.
+func TestKernelStmtsCoverTPCHPreAggregates(t *testing.T) {
+	for _, name := range []string{"Q1", "Q6"} {
+		t.Run(name, func(t *testing.T) {
+			q, err := tpch.QueryByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prog, err := Compile(name, q.Def, q.BaseSchemas(), Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(prog.Kernels) == 0 {
+				t.Fatalf("no kernel-eligible statements detected:\n%s", prog)
+			}
+			var delta, warm bool
+			for _, k := range prog.Kernels {
+				if k.Scans == "" {
+					t.Fatalf("kernel stmt %+v has no scanned relation", k)
+				}
+				if k.Trigger == tpch.Lineitem {
+					delta = true
+				}
+				if k.Trigger == "" {
+					warm = true
+				}
+			}
+			if !delta {
+				t.Errorf("lineitem trigger has no kernel-eligible statement: %+v", prog.Kernels)
+			}
+			if !warm {
+				t.Errorf("no kernel-eligible warm-start scan: %+v", prog.Kernels)
+			}
+		})
+	}
+}
+
+// TestKernelStmtsSkipJoins pins the negative side on the tri-join
+// example: multi-relation statements must not be reported eligible.
+func TestKernelStmtsSkipJoins(t *testing.T) {
+	q, bases := triJoinQuery()
+	prog, err := Compile("Q", q, bases, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range prog.Kernels {
+		if k.LHS == "Q" && k.Trigger == "" {
+			t.Errorf("the three-way join's rebuild scan reported eligible: %+v", k)
+		}
+	}
+}

@@ -34,7 +34,7 @@ func Compile(queryName string, q expr.Expr, bases map[string]mring.Schema, opts 
 		views: make(map[string]*ViewDef),
 		byDef: make(map[string]string),
 	}
-	top := c.registerView(queryName, q.Schema(), q)
+	c.registerView(queryName, q.Schema(), q)
 	// Worklist: every registered view needs maintenance triggers for every
 	// base relation its definition references. Processing may register new
 	// views, which extend c.order.
@@ -64,7 +64,6 @@ func Compile(queryName string, q expr.Expr, bases map[string]mring.Schema, opts 
 		Triggers:  make(map[string]*Trigger),
 		Opts:      opts,
 	}
-	_ = top
 	for rel := range bases {
 		prog.Triggers[rel] = &Trigger{Relation: rel}
 	}
@@ -79,6 +78,7 @@ func Compile(queryName string, q expr.Expr, bases map[string]mring.Schema, opts 
 		}
 	}
 	prog.Indexes = collectIndexSpecs(prog)
+	prog.Kernels = collectKernelStmts(prog)
 	return prog, nil
 }
 

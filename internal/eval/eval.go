@@ -136,6 +136,12 @@ type Ctx struct {
 	// Tracer, when non-nil, observes every relation memory touch for the
 	// cache-locality experiment.
 	Tracer func(rel string, tupleHash uint64)
+	// DisableKernels forces the row-wise path even for statements the
+	// vectorized columnar kernels cover; the kernel-vs-row property tests
+	// and benchmarks flip it.
+	DisableKernels bool
+	// KernelFolds counts aggregate folds served by the columnar kernels.
+	KernelFolds int64
 	// groupHash overrides group-table key hashing in tests (forcing
 	// collision chains on the aggregation path); nil means Tuple.Hash.
 	groupHash func(mring.Tuple) uint64
@@ -335,6 +341,9 @@ func (c *Ctx) aggGroups(a *expr.Agg, b *Binding) *mring.GroupTable {
 	gt := mring.NewGroupTable(mring.Schema(a.GroupBy))
 	if c.groupHash != nil {
 		gt.SetHashFnForTest(c.groupHash)
+	}
+	if c.tryKernelAgg(a, b, gt) {
+		return gt
 	}
 	key := make(mring.Tuple, len(a.GroupBy))
 	c.Eval(a.Body, b, func(m float64) {

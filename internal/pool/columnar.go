@@ -141,31 +141,7 @@ func (b *ColBatch) FilterInt(col string, keep func(int64) bool) *ColBatch {
 // instead of materializing row tuples. The result matches the row-wise
 // mring.Tuple.HashCols of the same values exactly.
 func (b *ColBatch) GroupHashes(pos []int) []uint64 {
-	hs := make([]uint64, b.Len())
-	for i := range hs {
-		hs[i] = mring.HashInit()
-	}
-	for _, j := range pos {
-		c := &b.Cols[j]
-		switch c.Kind {
-		case mring.KInt:
-			for i, v := range c.Ints {
-				hs[i] = mring.HashInt64(hs[i], v)
-			}
-		case mring.KFloat:
-			for i, v := range c.Flts {
-				hs[i] = mring.HashFloat64(hs[i], v)
-			}
-		default:
-			for i, s := range c.Strs {
-				hs[i] = mring.HashStr(hs[i], s)
-			}
-		}
-	}
-	for i := range hs {
-		hs[i] = mring.HashFinish(hs[i])
-	}
-	return hs
+	return b.HashSel(pos, nil)
 }
 
 // GroupSum pre-aggregates the batch into a hash-native group table over
@@ -269,6 +245,12 @@ func Decode(buf []byte) (*ColBatch, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Every column header costs at least two bytes (name-length uvarint +
+	// kind byte); bounding nc by the remaining input keeps hostile counts
+	// from demanding huge allocations before the truncation is noticed.
+	if nc > uint64(len(buf)-pos)/2 {
+		return nil, fmt.Errorf("pool: column count %d exceeds input", nc)
+	}
 	schema := make(mring.Schema, nc)
 	kinds := make([]mring.Kind, nc)
 	for i := 0; i < int(nc); i++ {
@@ -276,17 +258,24 @@ func Decode(buf []byte) (*ColBatch, error) {
 		if err != nil {
 			return nil, err
 		}
-		if pos+int(ln)+1 > len(buf) {
+		if ln > uint64(len(buf)-pos) || pos+int(ln)+1 > len(buf) {
 			return nil, fmt.Errorf("pool: truncated column header")
 		}
 		schema[i] = string(buf[pos : pos+int(ln)])
 		pos += int(ln)
 		kinds[i] = mring.Kind(buf[pos])
+		if kinds[i] > mring.KString {
+			return nil, fmt.Errorf("pool: invalid column kind %d", kinds[i])
+		}
 		pos++
 	}
 	nr, err := readUvarint()
 	if err != nil {
 		return nil, err
+	}
+	// Each row costs at least 8 bytes for its multiplicity alone.
+	if nr > uint64(len(buf)-pos)/8 {
+		return nil, fmt.Errorf("pool: row count %d exceeds input", nr)
 	}
 	b := NewColBatch(schema, kinds)
 	n := int(nr)
@@ -319,7 +308,7 @@ func Decode(buf []byte) (*ColBatch, error) {
 				if err != nil {
 					return nil, err
 				}
-				if pos+int(ln) > len(buf) {
+				if ln > uint64(len(buf)-pos) {
 					return nil, fmt.Errorf("pool: truncated string column")
 				}
 				c.Strs[j] = string(buf[pos : pos+int(ln)])
@@ -336,6 +325,20 @@ func Decode(buf []byte) (*ColBatch, error) {
 		pos += 8
 	}
 	return b, nil
+}
+
+// MergeInto adds every row of the batch into r (bag union in place) — the
+// receive side of a byte-shipped shuffle fragment. Rows land in batch
+// order, matching the order a Foreach-driven Merge of the source relation
+// would have used.
+func (b *ColBatch) MergeInto(r *mring.Relation) {
+	t := make(mring.Tuple, len(b.Cols))
+	for i, m := range b.Mults {
+		for j := range b.Cols {
+			t[j] = b.Cols[j].value(i)
+		}
+		r.Add(t, m)
+	}
 }
 
 // EncodeRowFormat serializes tuple-at-a-time (row-oriented) for the

@@ -1,0 +1,264 @@
+package pool
+
+import (
+	"repro/internal/mring"
+)
+
+// Overlay is columnar worker state: a frozen columnar base (unique rows,
+// non-zero multiplicities) plus a row-format mring.Relation acting as a
+// mutable delta on top. Scans read both parts column-wise through
+// Segments without ever copying the base; point mutations land in the
+// delta and are folded back into a fresh base when the delta grows past
+// half the base (Compact). The logical contents are always base ⊎ delta
+// with the data model's near-zero cancellation.
+type Overlay struct {
+	base  *ColBatch
+	delta *mring.Relation
+	// idx lazily indexes base rows by their canonical full-row hash for
+	// point lookups (collisions resolved by KeyEqual on materialization).
+	idx map[uint64][]int32
+}
+
+// NewOverlay wraps an existing columnar base. The base's rows should be
+// unique (as produced by TryFromRelation or a decoded shuffle fragment);
+// the overlay takes ownership and callers must not mutate it afterward.
+func NewOverlay(base *ColBatch) *Overlay {
+	return &Overlay{base: base, delta: mring.NewRelation(base.Schema)}
+}
+
+// Schema returns the overlay's column names.
+func (o *Overlay) Schema() mring.Schema { return o.base.Schema }
+
+// Delta returns the mutable row-format delta relation.
+func (o *Overlay) Delta() *mring.Relation { return o.delta }
+
+// Base returns the frozen columnar base. Callers must not mutate it.
+func (o *Overlay) Base() *ColBatch { return o.base }
+
+// Add adds m to tuple t's logical multiplicity (delta mutation).
+func (o *Overlay) Add(t mring.Tuple, m float64) { o.delta.Add(t, m) }
+
+// Merge adds every tuple of r into the delta (bag union in place).
+func (o *Overlay) Merge(r *mring.Relation) { o.delta.Merge(r) }
+
+func (o *Overlay) baseIndex() map[uint64][]int32 {
+	if o.idx == nil {
+		pos := make([]int, len(o.base.Schema))
+		for i := range pos {
+			pos[i] = i
+		}
+		hs := o.base.HashSel(pos, nil)
+		o.idx = make(map[uint64][]int32, len(hs))
+		for i, h := range hs {
+			o.idx[h] = append(o.idx[h], int32(i))
+		}
+	}
+	return o.idx
+}
+
+// baseGet sums the base multiplicity of t (0 when absent).
+func (o *Overlay) baseGet(t mring.Tuple) float64 {
+	var s float64
+	for _, i := range o.baseIndex()[t.Hash()] {
+		row, m := o.base.Row(int(i))
+		if row.KeyEqual(t) {
+			s += m
+		}
+	}
+	return s
+}
+
+// Get returns the logical multiplicity of t: base plus delta, reading as
+// zero when the sum cancels into (-Eps, Eps) — where a plain Relation
+// would have removed the tuple.
+func (o *Overlay) Get(t mring.Tuple) float64 {
+	s := o.baseGet(t) + o.delta.Get(t)
+	if s > -mring.Eps && s < mring.Eps {
+		return 0
+	}
+	return s
+}
+
+// Foreach visits every logical tuple with a surviving multiplicity: base
+// rows adjusted by the delta (in base order), then delta-only tuples.
+func (o *Overlay) Foreach(f func(t mring.Tuple, m float64)) {
+	idx := o.baseIndex()
+	for i := 0; i < o.base.Len(); i++ {
+		t, m := o.base.Row(i)
+		m += o.delta.Get(t)
+		if m > -mring.Eps && m < mring.Eps {
+			continue
+		}
+		f(t, m)
+	}
+	o.delta.Foreach(func(t mring.Tuple, m float64) {
+		for _, i := range idx[t.Hash()] {
+			row, _ := o.base.Row(int(i))
+			if row.KeyEqual(t) {
+				return // already visited with the base row
+			}
+		}
+		f(t, m)
+	})
+}
+
+// Len returns the number of logical tuples.
+func (o *Overlay) Len() int {
+	n := 0
+	o.Foreach(func(mring.Tuple, float64) { n++ })
+	return n
+}
+
+// ToRelation materializes the logical contents in row format.
+func (o *Overlay) ToRelation() *mring.Relation {
+	r := mring.NewRelation(o.base.Schema)
+	o.base.MergeInto(r)
+	r.Merge(o.delta)
+	return r
+}
+
+// Compact folds the delta into a rebuilt base, keeping the base's column
+// kinds. It reports false (leaving the overlay unchanged) when a delta
+// tuple's kinds do not fit the base columns.
+func (o *Overlay) Compact() bool {
+	if o.delta.Len() == 0 {
+		return true
+	}
+	kinds := colKinds(o.base)
+	if o.base.Len() == 0 {
+		// An empty base's kinds are a placeholder guess (all-int for an
+		// empty seed); let the delta's first tuple decide instead.
+		kinds = nil
+	}
+	nb, ok := tryFromRelation(o.ToRelation(), kinds)
+	if !ok {
+		return false
+	}
+	o.base = nb
+	o.delta = mring.NewRelation(o.base.Schema)
+	o.idx = nil
+	return true
+}
+
+// Segments returns the overlay's contents as columnar segments for a
+// kernel scan: the shared base (never copied) and the columnarized delta
+// (nil when the delta is empty). A delta past half the base size is
+// compacted first. ok is false when the delta's value kinds do not fit
+// the base columns; callers then fall back to the row path.
+func (o *Overlay) Segments() (base, delta *ColBatch, ok bool) {
+	if o.delta.Len()*2 > o.base.Len() {
+		o.Compact()
+	}
+	if o.delta.Len() == 0 {
+		return o.base, nil, true
+	}
+	db, ok := tryFromRelation(o.delta, colKinds(o.base))
+	if !ok {
+		return nil, nil, false
+	}
+	return o.base, db, true
+}
+
+func colKinds(b *ColBatch) []mring.Kind {
+	kinds := make([]mring.Kind, len(b.Cols))
+	for i := range b.Cols {
+		kinds[i] = b.Cols[i].Kind
+	}
+	return kinds
+}
+
+// tryFromRelation converts r to columnar form without value coercion:
+// every tuple's kinds must match the column kinds exactly (nil kinds:
+// taken from the first tuple Foreach visits). Unlike FromRelation, which
+// coerces mixed columns to the first tuple's kinds, a mismatch reports
+// ok=false.
+func tryFromRelation(r *mring.Relation, kinds []mring.Kind) (*ColBatch, bool) {
+	derive := kinds == nil
+	ok := true
+	first := true
+	r.Foreach(func(t mring.Tuple, _ float64) {
+		if !ok {
+			return
+		}
+		if first && derive {
+			kinds = make([]mring.Kind, len(t))
+			for i, v := range t {
+				kinds[i] = v.K
+			}
+		}
+		first = false
+		for i, v := range t {
+			if v.K != kinds[i] {
+				ok = false
+				return
+			}
+		}
+	})
+	if !ok {
+		return nil, false
+	}
+	if kinds == nil {
+		kinds = make([]mring.Kind, len(r.Schema()))
+	}
+	b := NewColBatch(r.Schema(), kinds)
+	r.Foreach(func(t mring.Tuple, m float64) { b.Append(t, m) })
+	return b, true
+}
+
+// TryFromRelation is the strict columnar conversion: it succeeds only
+// when every column holds one value kind throughout, so the batch
+// round-trips losslessly (the requirement for shipping real bytes).
+func TryFromRelation(r *mring.Relation) (*ColBatch, bool) {
+	return tryFromRelation(r, nil)
+}
+
+// mirrorState is the Relation.Scratch attachment: the columnar mirror (or
+// the fact that none is possible) for one relation content version.
+type mirrorState struct {
+	ov  *Overlay
+	ver uint64
+	bad bool
+}
+
+// MirrorOf returns an up-to-date columnar mirror of r — an Overlay whose
+// base holds exactly r's contents and whose delta is empty — building and
+// attaching one (via Relation.Scratch) when the cached mirror is stale.
+// It returns nil when r cannot be mirrored losslessly (mixed-kind
+// columns); that outcome is cached per content version too. Mirrors are
+// read-only: any mutation of r bumps its version and invalidates them.
+func MirrorOf(r *mring.Relation) *Overlay {
+	if s, ok := r.Scratch().(*mirrorState); ok && s.ver == r.Version() {
+		if s.bad {
+			return nil
+		}
+		return s.ov
+	}
+	b, ok := tryFromRelation(r, nil)
+	if !ok {
+		r.SetScratch(&mirrorState{ver: r.Version(), bad: true})
+		return nil
+	}
+	ov := NewOverlay(b)
+	r.SetScratch(&mirrorState{ov: ov, ver: r.Version()})
+	return ov
+}
+
+// AttachMirror installs batch as r's columnar mirror for its current
+// version. The caller guarantees batch holds exactly r's contents with
+// one row per stored tuple — the shuffle receive path attaches the
+// decoded fragment it just merged, making the next kernel scan free.
+func AttachMirror(r *mring.Relation, batch *ColBatch) {
+	r.SetScratch(&mirrorState{ov: NewOverlay(batch), ver: r.Version()})
+}
+
+// EncodeRelation serializes r in the columnar wire format, reusing (and
+// attaching) its columnar mirror when the contents allow one. Mixed-kind
+// relations fall back to FromRelation's first-tuple-kind coercion — fine
+// for size accounting, lossy for real shipping, so byte-shipping callers
+// must go through MirrorOf/TryFromRelation instead.
+func EncodeRelation(r *mring.Relation) []byte {
+	if ov := MirrorOf(r); ov != nil {
+		return ov.base.Encode()
+	}
+	return FromRelation(r).Encode()
+}

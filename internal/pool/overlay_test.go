@@ -1,0 +1,181 @@
+package pool
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/mring"
+)
+
+// The overlay property test drives an Overlay and a plain mring.Relation
+// through the same interleaved Add/Merge sequence and requires them to
+// agree on Get, Len, Foreach contents, and ToRelation — with Compact and
+// Segments thrown in mid-sequence, since neither may change the logical
+// contents. Multiplicities are dyadic (±0.25 steps) so float sums are
+// exact and the comparison needs no tolerance beyond the data model's
+// own Eps cancellation.
+
+func randomOverlayTuple(rng *rand.Rand) mring.Tuple {
+	return mring.Tuple{
+		mring.Int(int64(rng.Intn(6))),
+		mring.Str(fmt.Sprintf("s%d", rng.Intn(3))),
+	}
+}
+
+func dyadicMult(rng *rand.Rand) float64 {
+	m := float64(rng.Intn(17)-8) / 4
+	if m == 0 {
+		m = 1
+	}
+	return m
+}
+
+func runOverlayProperty(t *testing.T, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	schema := mring.Schema{"k", "s"}
+	for round := 0; round < 30; round++ {
+		// Seed a base with unique rows via a relation, as production does.
+		seedRel := mring.NewRelation(schema)
+		for i := 0; i < rng.Intn(20); i++ {
+			seedRel.Add(randomOverlayTuple(rng), dyadicMult(rng))
+		}
+		base, ok := TryFromRelation(seedRel)
+		if !ok {
+			t.Fatalf("seed %d round %d: fixed-kind seed not columnarizable", seed, round)
+		}
+		ov := NewOverlay(base)
+		model := mring.NewRelation(schema)
+		model.Merge(seedRel)
+
+		for op := 0; op < 60; op++ {
+			switch rng.Intn(5) {
+			case 0, 1:
+				tp, m := randomOverlayTuple(rng), dyadicMult(rng)
+				ov.Add(tp, m)
+				model.Add(tp, m)
+			case 2:
+				batch := mring.NewRelation(schema)
+				for i := 0; i < rng.Intn(5); i++ {
+					batch.Add(randomOverlayTuple(rng), dyadicMult(rng))
+				}
+				ov.Merge(batch)
+				model.Merge(batch)
+			case 3:
+				if !ov.Compact() {
+					t.Fatalf("seed %d round %d: Compact failed on fixed-kind delta", seed, round)
+				}
+			default:
+				b, d, ok := ov.Segments()
+				if !ok {
+					t.Fatalf("seed %d round %d: Segments failed on fixed-kind overlay", seed, round)
+				}
+				scan := mring.NewRelation(schema)
+				b.MergeInto(scan)
+				if d != nil {
+					d.MergeInto(scan)
+				}
+				if !scan.Equal(model) {
+					t.Fatalf("seed %d round %d op %d: segment scan %v != model %v",
+						seed, round, op, scan, model)
+				}
+			}
+
+			if ov.Len() != model.Len() {
+				t.Fatalf("seed %d round %d op %d: Len %d != model %d",
+					seed, round, op, ov.Len(), model.Len())
+			}
+			// Get agrees on present tuples and on a probe that may be absent.
+			probe := randomOverlayTuple(rng)
+			if g, w := ov.Get(probe), model.Get(probe); g != w {
+				t.Fatalf("seed %d round %d op %d: Get(%v) = %v, model %v",
+					seed, round, op, probe, g, w)
+			}
+			seen := mring.NewRelation(schema)
+			ov.Foreach(func(tp mring.Tuple, m float64) {
+				if w := model.Get(tp); m != w {
+					t.Fatalf("seed %d round %d op %d: Foreach %v -> %v, model %v",
+						seed, round, op, tp, m, w)
+				}
+				seen.Add(tp, m)
+			})
+			if !seen.Equal(model) {
+				t.Fatalf("seed %d round %d op %d: Foreach visited %v, model %v",
+					seed, round, op, seen, model)
+			}
+			if !ov.ToRelation().Equal(model) {
+				t.Fatalf("seed %d round %d op %d: ToRelation != model", seed, round, op)
+			}
+		}
+	}
+}
+
+func TestOverlayMatchesRelationModel(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			runOverlayProperty(t, seed)
+		})
+	}
+}
+
+// TestOverlayCompactRejectsKindMismatch pins the strict no-coercion rule:
+// a delta tuple whose kinds differ from the base columns blocks Compact
+// and Segments (callers fall back to the row path), but the logical
+// contents stay correct throughout.
+func TestOverlayCompactRejectsKindMismatch(t *testing.T) {
+	schema := mring.Schema{"k"}
+	seedRel := mring.NewRelation(schema)
+	seedRel.Add(mring.Tuple{mring.Int(1)}, 1)
+	base, _ := TryFromRelation(seedRel)
+	ov := NewOverlay(base)
+	ov.Add(mring.Tuple{mring.Str("oops")}, 1)
+	if ov.Compact() {
+		t.Fatalf("Compact accepted a kind-mismatched delta")
+	}
+	if _, _, ok := ov.Segments(); ok {
+		t.Fatalf("Segments accepted a kind-mismatched delta")
+	}
+	if got := ov.Get(mring.Tuple{mring.Str("oops")}); got != 1 {
+		t.Fatalf("mismatched delta tuple lost: Get = %v", got)
+	}
+	if ov.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", ov.Len())
+	}
+}
+
+// TestMirrorInvalidatesOnMutation pins the mirror lifecycle: MirrorOf
+// caches per content version, any relation mutation invalidates, and
+// mixed-kind relations cache the negative answer.
+func TestMirrorInvalidatesOnMutation(t *testing.T) {
+	schema := mring.Schema{"k"}
+	r := mring.NewRelation(schema)
+	r.Add(mring.Tuple{mring.Int(1)}, 1)
+	ov1 := MirrorOf(r)
+	if ov1 == nil {
+		t.Fatalf("no mirror for a fixed-kind relation")
+	}
+	if MirrorOf(r) != ov1 {
+		t.Fatalf("mirror not cached across calls")
+	}
+	r.Add(mring.Tuple{mring.Int(2)}, 1)
+	ov2 := MirrorOf(r)
+	if ov2 == ov1 {
+		t.Fatalf("stale mirror survived a mutation")
+	}
+	if ov2.Base().Len() != 2 {
+		t.Fatalf("rebuilt mirror has %d rows, want 2", ov2.Base().Len())
+	}
+	// In-place multiplicity update must invalidate too.
+	r.Add(mring.Tuple{mring.Int(1)}, 1)
+	if MirrorOf(r) == ov2 {
+		t.Fatalf("stale mirror survived an in-place multiplicity update")
+	}
+
+	r.Add(mring.Tuple{mring.Str("mixed")}, 1)
+	if MirrorOf(r) != nil {
+		t.Fatalf("mixed-kind relation produced a mirror")
+	}
+	if MirrorOf(r) != nil {
+		t.Fatalf("negative mirror answer not stable")
+	}
+}

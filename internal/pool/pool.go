@@ -239,10 +239,9 @@ func (p *Pool) grow() {
 	n := len(p.buckets) * growthFactor
 	p.buckets = newBuckets(n)
 	p.mask = uint64(n - 1)
-	for si, idx := range p.second {
+	for _, idx := range p.second {
 		idx.buckets = newBuckets(n)
 		idx.mask = uint64(n - 1)
-		_ = si
 	}
 	for i := range p.recs {
 		r := &p.recs[i]
