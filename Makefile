@@ -3,8 +3,10 @@
 GO ?= go
 # PR number stamped into the benchmark report filename (BENCH_<PR>.json):
 # one past the newest committed report, so a fresh `make bench-json`
-# never overwrites history by default. Override with PR=<n>.
-LATEST_PR := $(lastword $(sort $(patsubst BENCH_%.json,%,$(wildcard BENCH_*.json))))
+# never overwrites history by default. Override with PR=<n>. The newest
+# report is picked numerically (shell sort -n), not lexicographically —
+# $(sort) would rank BENCH_10.json before BENCH_2.json.
+LATEST_PR := $(shell printf '%s\n' $(patsubst BENCH_%.json,%,$(wildcard BENCH_*.json)) | sort -n | tail -1)
 PR ?= $(if $(LATEST_PR),$(shell expr $(LATEST_PR) + 1),1)
 # Baseline report the new measurements are diffed against; a >15% drop
 # of a tracked speedup ratio (native over reference, both measured in
@@ -66,9 +68,10 @@ check-api:
 # BENCH_$(PR).json (query, batch size, tuples/sec, shuffled bytes), and
 # diffs the tracked microbenchmark speedup ratios against
 # $(BENCH_BASELINE): the target (and the CI job) fails when the
-# RelationAddGet, AggGroupUpdate, ColFilter, or ColFold ratio drops more
-# than 15%, when AggGroupUpdate falls below its 1.5x acceptance floor,
-# or when neither columnar kernel ratio clears its 1.3x floor.
+# RelationAddGet, AggGroupUpdate, ColFilter, ColFold, or MultiView ratio
+# drops more than 15%, when AggGroupUpdate falls below its 1.5x
+# acceptance floor, when neither columnar kernel ratio clears its 1.5x
+# floor, or when MultiView falls below its 2x shared/independent floor.
 bench-json:
 	$(GO) run ./cmd/benchjson -pr $(PR) -out BENCH_$(PR).json $(BENCH_BASELINE_FLAG)
 

@@ -63,20 +63,43 @@ func SingleTuple() Option {
 	return func(c *engineConfig) { c.singleTuple = true }
 }
 
-// backend is the execution plane behind an Engine: the local executor
-// and the simulated cluster implement the same four-operation contract,
-// so everything above (transactions, warm starts, the changefeed) is
-// written once.
+func (cfg *engineConfig) validate() error {
+	if cfg.distributed && cfg.workers < 1 {
+		return fmt.Errorf("ivm: Distributed needs at least one worker, got %d", cfg.workers)
+	}
+	if cfg.distributed && cfg.singleTuple {
+		return fmt.Errorf("ivm: SingleTuple is a local execution mode; drop it or drop Distributed")
+	}
+	return nil
+}
+
+func (cfg *engineConfig) backend(prog *compile.Program) backend {
+	if cfg.distributed {
+		return newDistBackend(prog, cfg.workers, cfg.keyRanks)
+	}
+	return newLocalBackend(prog, cfg.singleTuple)
+}
+
+// backend is the execution plane behind an Engine or Registry: the
+// local executor and the simulated cluster implement the same contract,
+// so everything above (transactions, warm starts, the changefeed and
+// its routing) is written once. All methods are multi-view: capture
+// names the top views whose per-transaction deltas the caller wants.
 type backend interface {
 	// ApplyTx folds one multi-table transaction into all maintained
-	// views; with capture on it returns the result view's per-group
-	// delta (nil otherwise, skipping all capture work).
-	ApplyTx(tx []compile.TableBatch, capture bool) (*mring.Relation, error)
+	// views and returns, for each captured view, its per-group delta.
+	// An empty capture list skips all capture work and returns nil.
+	ApplyTx(tx []compile.TableBatch, capture []string) (map[string]*mring.Relation, error)
 	// Warm installs initial base-table contents before streaming and
-	// returns the initial result contents as the first delta.
-	Warm(bases map[string]*mring.Relation) (*mring.Relation, error)
-	// Result returns the maintained query result contents.
-	Result() *mring.Relation
+	// returns, for each captured view, its initial contents as the
+	// first delta.
+	Warm(bases map[string]*mring.Relation, capture []string) (map[string]*mring.Relation, error)
+	// ViewContents returns the maintained contents of one top view.
+	ViewContents(name string) *mring.Relation
+	// StopCapture releases any persistent capture state held for the
+	// view (the cluster watch) as soon as its last subscriber is gone,
+	// instead of waiting for the next transaction.
+	StopCapture(view string)
 	// Stats returns evaluation statistics accumulated across batches.
 	Stats() eval.Stats
 	// TriggerProgram renders the maintenance program for one base table.
@@ -85,6 +108,44 @@ type backend interface {
 	// (zero on the local backend).
 	Metrics() (total, lastTx Metrics)
 }
+
+// serving is the shared front half of Engine and Registry: transaction
+// validation, warm starts, and the changefeed with its per-view
+// subscriber routing.
+type serving struct {
+	prog *compile.Program
+	be   backend
+
+	mu    sync.Mutex
+	next  int
+	seq   int64
+	feeds map[string]*feed // top-view name -> subscription state
+}
+
+// feed holds the subscribers of one served top view.
+type feed struct {
+	schema mring.Schema
+	plain  []*subscriber
+	// keyed buckets key-predicate subscribers by key length, then by
+	// the placement shard of their key — the same hash the shuffles
+	// place tuples with (dist.PlaceIndex) — so routing a delta touches
+	// only the subscribers whose shard a changed group lands in.
+	keyed map[int]map[int][]*subscriber
+	n     int
+}
+
+type subscriber struct {
+	id  int
+	fn  func(Delta)
+	key Tuple // nil for plain (full-feed) subscribers
+	// pending accumulates the routed groups of the delta currently
+	// being delivered; reset after each delivery. Guarded by serving.mu.
+	pending *mring.Relation
+}
+
+// routeShards is the number of placement buckets subscriber keys hash
+// into; it mirrors a worker count, but for delivery routing only.
+const routeShards = 256
 
 // Engine maintains one compiled query incrementally. The same type
 // fronts both execution planes — construct with New, picking the
@@ -95,21 +156,11 @@ type backend interface {
 //
 // Updates apply through Apply (atomic multi-table transactions) or
 // ApplyBatch (single-table sugar); Subscribe delivers each applied
-// transaction's result delta.
+// transaction's result delta. To serve many queries over one shared
+// program, see Registry.
 type Engine struct {
+	serving
 	name string
-	prog *compile.Program
-	be   backend
-
-	mu   sync.Mutex
-	subs []subscriber
-	next int
-	seq  int64
-}
-
-type subscriber struct {
-	id int
-	fn func(Delta)
 }
 
 // New compiles the query over the given base relation schemas and
@@ -121,23 +172,22 @@ func New(name string, query Expr, bases map[string]Schema, opts ...Option) (*Eng
 	for _, o := range opts {
 		o(&cfg)
 	}
-	if cfg.distributed && cfg.workers < 1 {
-		return nil, fmt.Errorf("ivm: Distributed needs at least one worker, got %d", cfg.workers)
-	}
-	if cfg.distributed && cfg.singleTuple {
-		return nil, fmt.Errorf("ivm: SingleTuple is a local execution mode; drop it or drop Distributed")
+	if err := cfg.validate(); err != nil {
+		return nil, err
 	}
 	prog, err := compile.Compile(name, query, bases, cfg.copts)
 	if err != nil {
 		return nil, err
 	}
-	var be backend
-	if cfg.distributed {
-		be = newDistBackend(prog, cfg.workers, cfg.keyRanks)
-	} else {
-		be = newLocalBackend(prog, cfg.singleTuple)
-	}
-	return &Engine{name: name, prog: prog, be: be}, nil
+	e := &Engine{name: name}
+	e.init(prog, cfg.backend(prog))
+	return e, nil
+}
+
+func (s *serving) init(prog *compile.Program, be backend) {
+	s.prog = prog
+	s.be = be
+	s.feeds = make(map[string]*feed)
 }
 
 // Program returns the compiled maintenance program (its String method
@@ -163,7 +213,7 @@ func (e *Engine) Metrics() Metrics { total, _ := e.be.Metrics(); return total }
 func (e *Engine) LastMetrics() Metrics { _, last := e.be.Metrics(); return last }
 
 // Result returns the maintained query result. Iterate with Foreach.
-func (e *Engine) Result() *Result { return &Result{rel: e.be.Result()} }
+func (e *Engine) Result() *Result { return &Result{rel: e.be.ViewContents(e.prog.QueryName)} }
 
 // knownTables renders the engine's base tables for error messages.
 func knownTables(bases map[string]Schema) string {
@@ -186,15 +236,17 @@ func knownTables(bases map[string]Schema) string {
 // an execution error from the backend itself (a programming or
 // deployment error, not a data error) can leave a prefix of the
 // transaction's tables applied.
-func (e *Engine) Apply(tx *Tx) error {
+func (e *Engine) Apply(tx *Tx) error { return e.applyTx(tx) }
+
+func (s *serving) applyTx(tx *Tx) error {
 	if tx == nil || len(tx.order) == 0 {
 		return nil
 	}
 	batches := make([]compile.TableBatch, 0, len(tx.order))
 	for _, table := range tx.order {
-		schema, ok := e.prog.Bases[table]
+		schema, ok := s.prog.Bases[table]
 		if !ok {
-			return fmt.Errorf("ivm: unknown table %q (engine has: %s)", table, knownTables(e.prog.Bases))
+			return fmt.Errorf("ivm: unknown table %q (engine has: %s)", table, knownTables(s.prog.Bases))
 		}
 		b := tx.batches[table]
 		if got := len(b.Schema()); got != len(schema) {
@@ -203,11 +255,11 @@ func (e *Engine) Apply(tx *Tx) error {
 		}
 		batches = append(batches, compile.TableBatch{Table: table, Batch: b.rel})
 	}
-	delta, err := e.be.ApplyTx(batches, e.capturing())
+	deltas, err := s.be.ApplyTx(batches, s.captureList())
 	if err != nil {
 		return err
 	}
-	e.deliver(delta)
+	s.deliver(deltas)
 	return nil
 }
 
@@ -221,12 +273,20 @@ func (e *Engine) ApplyBatch(table string, b *Batch) error {
 	return e.Apply(tx)
 }
 
-// capturing reports whether any changefeed subscriber is attached;
-// without one the backends skip all delta-capture work.
-func (e *Engine) capturing() bool {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return len(e.subs) > 0
+// captureList returns the top views with at least one subscriber, in
+// sorted order; the backends capture deltas only for these.
+func (s *serving) captureList() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.feeds) == 0 {
+		return nil
+	}
+	views := make([]string, 0, len(s.feeds))
+	for v := range s.feeds {
+		views = append(views, v)
+	}
+	sort.Strings(views)
+	return views
 }
 
 // Warm initializes base tables before streaming (static dimensions,
@@ -237,17 +297,19 @@ func (e *Engine) capturing() bool {
 // streamed state. Call before the first transaction. The initial result
 // contents are delivered to subscribers as one Delta, so a changefeed
 // replay starting from empty still reconstructs Result exactly.
-func (e *Engine) Warm(tables map[string]*Batch) error {
+func (e *Engine) Warm(tables map[string]*Batch) error { return e.warm(tables) }
+
+func (s *serving) warm(tables map[string]*Batch) error {
 	for n, b := range tables {
-		if _, ok := e.prog.Bases[n]; !ok {
-			return fmt.Errorf("ivm: unknown table %q (engine has: %s)", n, knownTables(e.prog.Bases))
+		if _, ok := s.prog.Bases[n]; !ok {
+			return fmt.Errorf("ivm: unknown table %q (engine has: %s)", n, knownTables(s.prog.Bases))
 		}
 		if b == nil {
 			return fmt.Errorf("ivm: nil initial batch for table %q", n)
 		}
 	}
-	init := make(map[string]*mring.Relation, len(e.prog.Bases))
-	for n, schema := range e.prog.Bases {
+	init := make(map[string]*mring.Relation, len(s.prog.Bases))
+	for n, schema := range s.prog.Bases {
 		if b, ok := tables[n]; ok {
 			if got := len(b.Schema()); got != len(schema) {
 				return fmt.Errorf("ivm: initial table %q has arity %d, schema %v wants %d",
@@ -258,11 +320,11 @@ func (e *Engine) Warm(tables map[string]*Batch) error {
 			init[n] = mring.NewRelation(schema)
 		}
 	}
-	delta, err := e.be.Warm(init)
+	deltas, err := s.be.Warm(init, s.captureList())
 	if err != nil {
 		return err
 	}
-	e.deliver(delta)
+	s.deliver(deltas)
 	return nil
 }
 
@@ -270,7 +332,8 @@ func (e *Engine) Warm(tables map[string]*Batch) error {
 // from result groups to the change of their aggregate value (groups
 // whose contributions canceled within the transaction do not appear).
 // Iteration is deterministic, so two subscribers — or two engines fed
-// the same stream — observe identical delta sequences.
+// the same stream — observe identical delta sequences. A key-predicate
+// subscriber's Delta holds only its matching groups.
 type Delta struct {
 	// Seq is the 1-based sequence number of the transaction that
 	// produced this delta (Warm counts as a transaction).
@@ -293,54 +356,207 @@ func (d Delta) Foreach(f func(t Tuple, change float64)) { d.rel.ForeachSorted(f)
 // String renders the delta deterministically.
 func (d Delta) String() string { return fmt.Sprintf("#%d %s", d.Seq, d.rel.String()) }
 
+// subConfig collects the functional options of Subscribe.
+type subConfig struct {
+	key Tuple
+}
+
+// SubOption configures one subscription.
+type SubOption func(*subConfig)
+
+// OnKey restricts a subscription to result groups whose leading columns
+// equal key (a prefix of the result schema, e.g. the group-by columns a
+// user's dashboard watches). Deltas route to key subscribers through
+// the same placement hash the distributed shuffles use
+// (dist.PlaceIndex), so fan-out work is proportional to the changed
+// groups, not the subscriber count, and a keyed subscriber is invoked
+// only for transactions that touched a matching group.
+func OnKey(key ...Value) SubOption {
+	return func(c *subConfig) { c.key = Tuple(key) }
+}
+
 // Subscribe registers a changefeed subscriber: fn is invoked once per
 // applied transaction (Apply, ApplyBatch, Warm) with the exact result
 // delta that transaction produced, after the engine state was updated.
 // On the distributed backend the delta is gathered deterministically —
 // per-worker contributions merge in worker-index order — so subscribers
 // observe the same stream on every run. Subscribers run synchronously
-// on the applying goroutine, in subscription order. The returned cancel
-// function removes the subscription. Capture is active only while at
-// least one subscriber is attached — an unsubscribed engine pays no
-// delta-capture overhead, so subscribe before applying the
-// transactions the feed should cover.
-func (e *Engine) Subscribe(fn func(Delta)) (cancel func()) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	id := e.next
-	e.next++
-	e.subs = append(e.subs, subscriber{id: id, fn: fn})
-	return func() {
-		e.mu.Lock()
-		defer e.mu.Unlock()
-		for i, s := range e.subs {
-			if s.id == id {
-				e.subs = append(e.subs[:i], e.subs[i+1:]...)
-				return
+// on the applying goroutine, in subscription order. With OnKey the
+// subscriber receives only deltas of its matching groups, skipping
+// transactions that did not touch them (the Seq numbers it observes are
+// then a subsequence of the feed). The returned cancel function removes
+// the subscription; when the last subscriber is gone the engine
+// immediately returns to zero capture overhead. Capture is active only
+// while at least one subscriber is attached, so subscribe before
+// applying the transactions the feed should cover. Subscribe panics on
+// an OnKey key longer than the result schema; Registry.Subscribe
+// reports the same misuse as an error.
+func (e *Engine) Subscribe(fn func(Delta), opts ...SubOption) (cancel func()) {
+	cancel, err := e.subscribe(e.prog.QueryName, fn, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return cancel
+}
+
+func (s *serving) subscribe(view string, fn func(Delta), opts ...SubOption) (func(), error) {
+	var cfg subConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	schema := s.prog.View(view).Schema
+	if len(cfg.key) > len(schema) {
+		return nil, fmt.Errorf("ivm: subscription key has %d columns, result schema %v has %d",
+			len(cfg.key), []string(schema), len(schema))
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f := s.feeds[view]
+	if f == nil {
+		f = &feed{schema: schema}
+		s.feeds[view] = f
+	}
+	id := s.next
+	s.next++
+	sub := &subscriber{id: id, fn: fn, key: cfg.key}
+	if len(cfg.key) == 0 {
+		f.plain = append(f.plain, sub)
+	} else {
+		kl := len(cfg.key)
+		shard := keyShard(mring.Tuple(cfg.key), kl)
+		if f.keyed == nil {
+			f.keyed = make(map[int]map[int][]*subscriber)
+		}
+		if f.keyed[kl] == nil {
+			f.keyed[kl] = make(map[int][]*subscriber)
+		}
+		f.keyed[kl][shard] = append(f.keyed[kl][shard], sub)
+	}
+	f.n++
+	return func() { s.unsubscribe(view, sub) }, nil
+}
+
+func (s *serving) unsubscribe(view string, sub *subscriber) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f := s.feeds[view]
+	if f == nil {
+		return
+	}
+	remove := func(subs []*subscriber) ([]*subscriber, bool) {
+		for i, x := range subs {
+			if x == sub {
+				return append(subs[:i], subs[i+1:]...), true
 			}
 		}
+		return subs, false
+	}
+	removed := false
+	if sub.key == nil {
+		f.plain, removed = remove(f.plain)
+	} else {
+		kl := len(sub.key)
+		shard := keyShard(mring.Tuple(sub.key), kl)
+		if bucket := f.keyed[kl]; bucket != nil {
+			bucket[shard], removed = remove(bucket[shard])
+		}
+	}
+	if !removed {
+		return
+	}
+	f.n--
+	if f.n == 0 {
+		// Last subscriber gone: drop the feed and release the backend's
+		// capture state (the cluster watch) right away, so the engine is
+		// back to zero capture overhead before the next transaction.
+		delete(s.feeds, view)
+		s.be.StopCapture(view)
 	}
 }
 
-// deliver hands one transaction's result delta to every subscriber.
+// keyShard places a key (or a tuple's leading columns) into a routing
+// bucket with the platform placement hash.
+func keyShard(t mring.Tuple, keyLen int) int {
+	pos := make([]int, keyLen)
+	for i := range pos {
+		pos[i] = i
+	}
+	return dist.PlaceIndex(t, pos, routeShards)
+}
+
+// deliver hands one transaction's per-view deltas to the subscribers.
 // Without subscribers it only advances the sequence number — no delta
-// is materialized.
-func (e *Engine) deliver(rel *mring.Relation) {
-	e.mu.Lock()
-	e.seq++
-	if len(e.subs) == 0 {
-		e.mu.Unlock()
+// is materialized. Subscribers across all views are invoked in
+// subscription order; keyed subscribers whose groups did not change are
+// skipped.
+func (s *serving) deliver(deltas map[string]*mring.Relation) {
+	type call struct {
+		id int
+		fn func(Delta)
+		d  Delta
+	}
+	s.mu.Lock()
+	s.seq++
+	seq := s.seq
+	var calls []call
+	for view, f := range s.feeds {
+		rel := deltas[view]
+		if rel == nil {
+			rel = mring.NewRelation(f.schema)
+		}
+		d := Delta{Seq: seq, rel: rel}
+		for _, sub := range f.plain {
+			calls = append(calls, call{sub.id, sub.fn, d})
+		}
+		for _, sub := range routeDelta(f, rel) {
+			calls = append(calls, call{sub.id, sub.fn, Delta{Seq: seq, rel: sub.pending}})
+			sub.pending = nil
+		}
+	}
+	s.mu.Unlock()
+	if len(calls) == 0 {
 		return
 	}
-	if rel == nil {
-		rel = mring.NewRelation(e.prog.TopView().Schema)
+	sort.Slice(calls, func(i, j int) bool { return calls[i].id < calls[j].id })
+	for _, c := range calls {
+		c.fn(c.d)
 	}
-	d := Delta{Seq: e.seq, rel: rel}
-	subs := append([]subscriber(nil), e.subs...)
-	e.mu.Unlock()
-	for _, s := range subs {
-		s.fn(d)
+}
+
+// routeDelta routes one view delta to its keyed subscribers: every
+// changed group hashes into a placement shard per subscribed key
+// length, and only the subscribers in that shard are prefix-checked.
+// Returns the subscribers that matched at least one group, each with
+// its pending filtered delta populated.
+func routeDelta(f *feed, rel *mring.Relation) []*subscriber {
+	if len(f.keyed) == 0 || rel.Len() == 0 {
+		return nil
 	}
+	var matched []*subscriber
+	rel.Foreach(func(t mring.Tuple, m float64) {
+		for kl, shards := range f.keyed {
+			for _, sub := range shards[keyShard(t, kl)] {
+				if !prefixEqual(t, sub.key) {
+					continue
+				}
+				if sub.pending == nil {
+					sub.pending = mring.NewRelation(f.schema)
+					matched = append(matched, sub)
+				}
+				sub.pending.Add(t, m)
+			}
+		}
+	})
+	return matched
+}
+
+func prefixEqual(t mring.Tuple, key Tuple) bool {
+	for i, v := range key {
+		if !t[i].Equal(v) {
+			return false
+		}
+	}
+	return true
 }
 
 // localBackend runs the compiled program on the single-node executor.
@@ -355,24 +571,40 @@ func newLocalBackend(prog *compile.Program, singleTuple bool) *localBackend {
 	return &localBackend{prog: prog, ex: ex}
 }
 
-func (lb *localBackend) ApplyTx(tx []compile.TableBatch, capture bool) (*mring.Relation, error) {
-	if !capture {
-		// No subscribers: fold without registering the capture sink (in
+func (lb *localBackend) ApplyTx(tx []compile.TableBatch, capture []string) (map[string]*mring.Relation, error) {
+	if len(capture) == 0 {
+		// No subscribers: fold without registering capture sinks (in
 		// particular, OpSet folds skip their pre-statement clone).
 		for _, tb := range tx {
 			lb.ex.ApplyBatch(tb.Table, tb.Batch)
 		}
 		return nil, nil
 	}
-	return lb.ex.ApplyTx(tx)
+	sinks := make(map[string]*mring.Relation, len(capture))
+	for _, v := range capture {
+		sinks[v] = mring.NewRelation(lb.ex.View(v).Schema())
+	}
+	if err := lb.ex.ApplyTxCapture(tx, sinks); err != nil {
+		return nil, err
+	}
+	return sinks, nil
 }
 
-func (lb *localBackend) Warm(bases map[string]*mring.Relation) (*mring.Relation, error) {
+func (lb *localBackend) Warm(bases map[string]*mring.Relation, capture []string) (map[string]*mring.Relation, error) {
 	lb.ex.InitFromBases(bases)
-	return lb.ex.Result().Clone(), nil
+	if len(capture) == 0 {
+		return nil, nil
+	}
+	out := make(map[string]*mring.Relation, len(capture))
+	for _, v := range capture {
+		out[v] = lb.ex.View(v).Clone()
+	}
+	return out, nil
 }
 
-func (lb *localBackend) Result() *mring.Relation { return lb.ex.Result() }
+func (lb *localBackend) ViewContents(name string) *mring.Relation { return lb.ex.View(name) }
+
+func (lb *localBackend) StopCapture(string) {}
 
 func (lb *localBackend) Stats() eval.Stats { return lb.ex.Stats }
 
@@ -396,33 +628,41 @@ type distBackend struct {
 	cl     *cluster.Cluster
 	total  Metrics
 	last   Metrics
-	// watching mirrors the cluster's watch state (on only while the
-	// engine has changefeed subscribers).
-	watching bool
+	// watching mirrors the cluster's watch set (a view is in it only
+	// while the engine has changefeed subscribers for it).
+	watching map[string]bool
 }
 
 func newDistBackend(prog *compile.Program, workers int, keyRanks map[string]int) *distBackend {
 	parts := dist.ChoosePartitioning(prog, keyRanks)
 	dprogs := dist.CompileProgram(prog, parts, dist.O3)
 	cl := cluster.New(cluster.DefaultConfig(workers), dist.ViewSchemas(prog), parts)
-	return &distBackend{prog: prog, parts: parts, dprogs: dprogs, cl: cl}
+	return &distBackend{prog: prog, parts: parts, dprogs: dprogs, cl: cl, watching: make(map[string]bool)}
 }
 
-// setCapture toggles the cluster's watch on the top view so unsubscribed
-// engines pay no per-batch sink or clone work.
-func (db *distBackend) setCapture(on bool) {
-	if on == db.watching {
-		return
+// setCapture reconciles the cluster's watch set with the views that
+// currently have subscribers, so unsubscribed views pay no per-batch
+// sink or clone work.
+func (db *distBackend) setCapture(capture []string) {
+	want := make(map[string]bool, len(capture))
+	for _, v := range capture {
+		want[v] = true
 	}
-	if on {
-		db.cl.WatchView(db.prog.QueryName)
-	} else {
-		db.cl.UnwatchView()
+	for v := range db.watching {
+		if !want[v] {
+			db.cl.UnwatchView(v)
+			delete(db.watching, v)
+		}
 	}
-	db.watching = on
+	for _, v := range capture {
+		if !db.watching[v] {
+			db.cl.WatchView(v)
+			db.watching[v] = true
+		}
+	}
 }
 
-func (db *distBackend) ApplyTx(tx []compile.TableBatch, capture bool) (*mring.Relation, error) {
+func (db *distBackend) ApplyTx(tx []compile.TableBatch, capture []string) (map[string]*mring.Relation, error) {
 	db.setCapture(capture)
 	var txm Metrics
 	for _, tb := range tx {
@@ -446,20 +686,26 @@ func (db *distBackend) ApplyTx(tx []compile.TableBatch, capture bool) (*mring.Re
 		if err != nil {
 			// Discard whatever the failed transaction captured so the
 			// next delivered delta is not polluted by its prefix.
-			db.cl.TakeWatchDelta()
+			for _, v := range capture {
+				db.cl.TakeWatchDelta(v)
+			}
 			return nil, err
 		}
 		txm.Add(m)
 	}
 	db.total.Add(txm)
 	db.last = txm
-	if !capture {
+	if len(capture) == 0 {
 		return nil, nil
 	}
-	return db.cl.TakeWatchDelta(), nil
+	out := make(map[string]*mring.Relation, len(capture))
+	for _, v := range capture {
+		out[v] = db.cl.TakeWatchDelta(v)
+	}
+	return out, nil
 }
 
-func (db *distBackend) Warm(bases map[string]*mring.Relation) (*mring.Relation, error) {
+func (db *distBackend) Warm(bases map[string]*mring.Relation, capture []string) (map[string]*mring.Relation, error) {
 	// Evaluate every view definition from scratch on a throwaway local
 	// executor, then install the contents across the cluster partitioned
 	// by the deployed PartInfo.
@@ -475,12 +721,23 @@ func (db *distBackend) Warm(bases map[string]*mring.Relation) (*mring.Relation, 
 	if err := db.cl.WarmViews(contents); err != nil {
 		return nil, err
 	}
-	db.cl.TakeWatchDelta() // warm installs bypass the fold capture
-	return db.cl.ViewContents(db.prog.QueryName), nil
+	out := make(map[string]*mring.Relation, len(capture))
+	for _, v := range capture {
+		db.cl.TakeWatchDelta(v) // warm installs bypass the fold capture
+		out[v] = db.cl.ViewContents(v)
+	}
+	return out, nil
 }
 
-func (db *distBackend) Result() *mring.Relation {
-	return db.cl.ViewContents(db.prog.QueryName)
+func (db *distBackend) ViewContents(name string) *mring.Relation {
+	return db.cl.ViewContents(name)
+}
+
+func (db *distBackend) StopCapture(view string) {
+	if db.watching[view] {
+		db.cl.UnwatchView(view)
+		delete(db.watching, view)
+	}
 }
 
 func (db *distBackend) Stats() eval.Stats { return db.cl.Stats }

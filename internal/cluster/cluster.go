@@ -133,14 +133,13 @@ type Cluster struct {
 	// after each stage barrier, so the totals are deterministic even
 	// though the workers run concurrently.
 	Stats eval.Stats
-	// watch names the view whose maintenance writes are captured as
-	// deltas (WatchView); empty disables capture.
-	watch string
-	// watchDelta accumulates the captured writes since the last
-	// TakeWatchDelta, gathered deterministically: driver-side folds for
-	// local/replicated views, per-worker folds merged strictly in
-	// worker-index order for distributed views.
-	watchDelta *mring.Relation
+	// watch maps each watched view (WatchView) to the delta accumulated
+	// since its last TakeWatchDelta, gathered deterministically:
+	// driver-side folds for local/replicated views, per-worker folds
+	// merged strictly in worker-index order for distributed views.
+	// Several views can be watched at once (multi-view serving); an
+	// empty map disables all capture.
+	watch map[string]*mring.Relation
 }
 
 // New creates a cluster with empty state.
@@ -166,52 +165,57 @@ func New(cfg Config, schemas map[string]mring.Schema, parts dist.PartInfo) *Clus
 func (c *Cluster) Workers() int { return c.cfg.Workers }
 
 // WatchView starts capturing every maintenance write to the named view
-// as a per-batch delta. The view must be one of the schemas the cluster
-// was constructed with.
+// as a per-batch delta. Several views can be watched at once; watching
+// an already-watched view keeps its accumulator. The view must be one of
+// the schemas the cluster was constructed with.
 func (c *Cluster) WatchView(name string) {
 	s, ok := c.schemas[name]
 	if !ok {
 		panic(fmt.Sprintf("cluster: cannot watch unknown view %q", name))
 	}
-	c.watch = name
-	c.watchDelta = mring.NewRelation(s)
+	if c.watch == nil {
+		c.watch = make(map[string]*mring.Relation, 1)
+	}
+	if c.watch[name] == nil {
+		c.watch[name] = mring.NewRelation(s)
+	}
 }
 
-// UnwatchView stops delta capture (batches run with zero capture
-// overhead again).
-func (c *Cluster) UnwatchView() {
-	c.watch = ""
-	c.watchDelta = nil
+// UnwatchView stops delta capture for one view; once the last watched
+// view is removed, batches run with zero capture overhead again.
+func (c *Cluster) UnwatchView(name string) {
+	delete(c.watch, name)
 }
 
-// TakeWatchDelta returns the delta accumulated since the last call (the
-// watched view's per-group change) and resets the accumulator. Nil when
-// no view is watched.
-func (c *Cluster) TakeWatchDelta() *mring.Relation {
-	d := c.watchDelta
-	if c.watch != "" {
-		c.watchDelta = mring.NewRelation(c.schemas[c.watch])
+// TakeWatchDelta returns the delta accumulated for the named view since
+// the last call (its per-group change) and resets the accumulator. Nil
+// when the view is not watched.
+func (c *Cluster) TakeWatchDelta(name string) *mring.Relation {
+	d := c.watch[name]
+	if d != nil {
+		c.watch[name] = mring.NewRelation(c.schemas[name])
 	}
 	return d
 }
 
-// watchDriverSide reports whether the watched view's canonical
-// maintenance writes happen at the driver (local and replicated views;
-// for a replicated view only the driver mirror is captured — every
-// worker replays the identical delta) rather than on the workers
-// (distributed views, captured per worker and merged in index order).
-func (c *Cluster) watchDriverSide() bool {
-	loc, ok := c.parts[c.watch]
+// watchDriverSide reports whether a view's canonical maintenance writes
+// happen at the driver (local and replicated views; for a replicated
+// view only the driver mirror is captured — every worker replays the
+// identical delta) rather than on the workers (distributed views,
+// captured per worker and merged in index order).
+func (c *Cluster) watchDriverSide(name string) bool {
+	loc, ok := c.parts[name]
 	return !ok || loc.Kind != dist.LDist
 }
 
-// driverSink returns the sink for driver-side statement folds, nil when
-// capture is off or the watched view is worker-maintained.
-func (c *Cluster) driverSink() *mring.Relation {
-	if c.watch == "" || !c.watchDriverSide() {
+// driverSinkFor returns the capture sink for a driver-side fold into
+// lhs, nil when lhs is unwatched or worker-maintained.
+func (c *Cluster) driverSinkFor(lhs string) *mring.Relation {
+	d := c.watch[lhs]
+	if d == nil || !c.watchDriverSide(lhs) {
 		return nil
 	}
-	return c.watchDelta
+	return d
 }
 
 // WarmViews installs initial contents for materialized views before
@@ -373,7 +377,7 @@ func (c *Cluster) runLocalBlock(b dist.Block, prog *dist.DistProgram, m *Metrics
 			}
 			continue
 		}
-		st.Add(c.runStmtOn(c.driver, s, c.driverSink()))
+		st.Add(c.runStmtOn(c.driver, s, c.driverSinkFor(s.LHS)))
 	}
 	c.Stats.Add(st)
 	compute := c.computeTime(st.Lookups+st.Scans+st.Emits, time.Since(computeStart))
@@ -407,19 +411,27 @@ func (c *Cluster) runDistBlock(b dist.Block, m *Metrics) {
 	c.prepareStmts(b.Stmts)
 	computes := make([]time.Duration, len(c.workers))
 	stats := make([]eval.Stats, len(c.workers))
-	// Worker-side delta capture: when the watched view is maintained on
-	// the workers and this stage writes it, every worker folds its own
-	// changes into a private sink; the sinks merge into the batch delta
-	// strictly in worker-index order after the barrier, so the gathered
-	// delta is deterministic despite concurrent workers.
-	var sinks []*mring.Relation
-	if c.watch != "" && !c.watchDriverSide() {
+	// Worker-side delta capture: for every watched view maintained on
+	// the workers that this stage writes, every worker folds its own
+	// changes into a private per-view sink; the sinks merge into the
+	// batch delta strictly in worker-index order after the barrier, so
+	// each view's gathered delta is deterministic despite concurrent
+	// workers. The map is read-only once the fan-out starts.
+	var sinks map[string][]*mring.Relation
+	for name := range c.watch {
+		if c.watchDriverSide(name) {
+			continue
+		}
 		for _, s := range b.Stmts {
-			if s.LHS == c.watch {
-				sinks = make([]*mring.Relation, len(c.workers))
-				for i := range sinks {
-					sinks[i] = mring.NewRelation(c.schemas[c.watch])
+			if s.LHS == name {
+				if sinks == nil {
+					sinks = make(map[string][]*mring.Relation, 1)
 				}
+				ws := make([]*mring.Relation, len(c.workers))
+				for i := range ws {
+					ws[i] = mring.NewRelation(c.schemas[name])
+				}
+				sinks[name] = ws
 				break
 			}
 		}
@@ -443,11 +455,11 @@ func (c *Cluster) runDistBlock(b dist.Block, m *Metrics) {
 			}
 			start := time.Now()
 			var st eval.Stats
-			var sink *mring.Relation
-			if sinks != nil {
-				sink = sinks[i]
-			}
 			for _, s := range b.Stmts {
+				var sink *mring.Relation
+				if ws := sinks[s.LHS]; ws != nil {
+					sink = ws[i]
+				}
 				st.Add(c.runStmtOn(w, s, sink))
 			}
 			stats[i] = st
@@ -455,11 +467,14 @@ func (c *Cluster) runDistBlock(b dist.Block, m *Metrics) {
 		}(i, w)
 	}
 	wg.Wait()
+	for name, ws := range sinks {
+		dst := c.watch[name]
+		for i := range c.workers {
+			dst.Merge(ws[i])
+		}
+	}
 	var maxCompute, sumCompute time.Duration
 	for i := range c.workers {
-		if sinks != nil {
-			c.watchDelta.Merge(sinks[i])
-		}
 		c.Stats.Add(stats[i])
 		sumCompute += computes[i]
 		if computes[i] > maxCompute {
@@ -496,7 +511,7 @@ func (c *Cluster) runStmtOn(n *node, s dist.Stmt, sink *mring.Relation) eval.Sta
 	})
 	target := n.rel(s.LHS, c.schemas[s.LHS])
 	ctx := eval.NewCtx(env)
-	if sink != nil && s.LHS == c.watch {
+	if sink != nil {
 		ctx.CaptureFolds(target, sink)
 	}
 	// FoldStmt runs aggregate statements (pre-aggregations and view
@@ -508,10 +523,11 @@ func (c *Cluster) runStmtOn(n *node, s dist.Stmt, sink *mring.Relation) eval.Sta
 }
 
 // captureReplace folds an OpSet-style replacement of a watched view copy
-// (old contents swapped for cur) into the batch delta.
-func (c *Cluster) captureReplace(old, cur *mring.Relation) {
-	c.watchDelta.Merge(cur)
-	c.watchDelta.MergeScaled(old, -1)
+// (old contents swapped for cur) into that view's batch delta.
+func (c *Cluster) captureReplace(name string, old, cur *mring.Relation) {
+	d := c.watch[name]
+	d.Merge(cur)
+	d.MergeScaled(old, -1)
 }
 
 // applyXform performs the data movement of one transformer statement and
@@ -539,7 +555,7 @@ func (c *Cluster) applyXform(lhs string, x *dist.Xform) (int64, int64, error) {
 		keyPos[i] = p
 	}
 
-	captureWorkers := lhs == c.watch && c.watch != "" && !c.watchDriverSide()
+	captureWorkers := c.watch[lhs] != nil && !c.watchDriverSide(lhs)
 	var total, maxPer int64
 	switch x.Kind {
 	case dist.XScatter:
@@ -577,7 +593,7 @@ func (c *Cluster) applyXform(lhs string, x *dist.Xform) (int64, int64, error) {
 				}
 			}
 			if captureWorkers {
-				c.captureReplace(old, dst)
+				c.captureReplace(lhs, old, dst)
 			}
 		}
 		return total, maxPer, nil
@@ -619,7 +635,7 @@ func (c *Cluster) applyXform(lhs string, x *dist.Xform) (int64, int64, error) {
 				dst.Merge(incoming[i])
 			}
 			if captureWorkers {
-				c.captureReplace(old, dst)
+				c.captureReplace(lhs, old, dst)
 			}
 		}
 		return total, maxPer, nil
@@ -645,13 +661,13 @@ func (c *Cluster) applyXform(lhs string, x *dist.Xform) (int64, int64, error) {
 		}
 		dst := c.driver.rel(lhs, lhsSchema)
 		var old *mring.Relation
-		if lhs == c.watch && c.watch != "" && c.watchDriverSide() {
+		if c.watch[lhs] != nil && c.watchDriverSide(lhs) {
 			old = dst.Clone()
 		}
 		dst.Clear()
 		gt.FillRelation(dst)
 		if old != nil {
-			c.captureReplace(old, dst)
+			c.captureReplace(lhs, old, dst)
 		}
 		return total, maxPer, nil
 	}

@@ -119,19 +119,36 @@ func (ex *Executor) ApplyBatch(rel string, batch *mring.Relation) {
 // single-table batches; the transaction boundary determines what one
 // changefeed delta covers.
 func (ex *Executor) ApplyTx(tx []TableBatch) (*mring.Relation, error) {
-	for _, tb := range tx {
-		if ex.prog.Triggers[tb.Table] == nil {
-			return nil, fmt.Errorf("compile: no trigger for relation %q", tb.Table)
-		}
-	}
 	sink := mring.NewRelation(ex.Result().Schema())
-	for _, tb := range tx {
-		ex.applyBatch(ex.prog.Triggers[tb.Table], tb.Table, tb.Batch, sink)
+	if err := ex.ApplyTxCapture(tx, map[string]*mring.Relation{ex.prog.QueryName: sink}); err != nil {
+		return nil, err
 	}
 	return sink, nil
 }
 
-func (ex *Executor) applyBatch(trg *Trigger, rel string, batch, sink *mring.Relation) {
+// ApplyTxCapture folds one multi-table transaction like ApplyTx, but
+// captures the per-group change of every view named in sinks — the
+// multi-view serving path, where one shared program maintains several
+// top views and each subscriber-backed view needs its own delta. A nil
+// or empty sinks map folds without any capture work.
+func (ex *Executor) ApplyTxCapture(tx []TableBatch, sinks map[string]*mring.Relation) error {
+	for _, tb := range tx {
+		if ex.prog.Triggers[tb.Table] == nil {
+			return fmt.Errorf("compile: no trigger for relation %q", tb.Table)
+		}
+	}
+	for name := range sinks {
+		if ex.views[name] == nil {
+			return fmt.Errorf("compile: cannot capture unknown view %q", name)
+		}
+	}
+	for _, tb := range tx {
+		ex.applyBatch(ex.prog.Triggers[tb.Table], tb.Table, tb.Batch, sinks)
+	}
+	return nil
+}
+
+func (ex *Executor) applyBatch(trg *Trigger, rel string, batch *mring.Relation, sinks map[string]*mring.Relation) {
 	dn := eval.DeltaName(rel)
 	if ex.SingleTuple {
 		single := mring.NewRelation(batch.Schema())
@@ -141,22 +158,22 @@ func (ex *Executor) applyBatch(trg *Trigger, rel string, batch, sink *mring.Rela
 		batch.Foreach(func(t mring.Tuple, m float64) {
 			single.Clear()
 			single.Add(t, m)
-			ex.runTrigger(trg, rel, single, sink)
+			ex.runTrigger(trg, rel, single, sinks)
 		})
 		return
 	}
 	for _, pos := range ex.deltaIdx[dn] {
 		batch.EnsureIndex(pos)
 	}
-	ex.runTrigger(trg, rel, batch, sink)
+	ex.runTrigger(trg, rel, batch, sinks)
 }
 
-func (ex *Executor) runTrigger(trg *Trigger, rel string, batch, sink *mring.Relation) {
+func (ex *Executor) runTrigger(trg *Trigger, rel string, batch *mring.Relation, sinks map[string]*mring.Relation) {
 	ex.env.Bind(eval.DeltaName(rel), batch)
 	ctx := eval.NewCtx(ex.env)
 	ctx.Tracer = ex.Tracer
-	if sink != nil {
-		ctx.CaptureFolds(ex.views[ex.prog.QueryName], sink)
+	for name, sink := range sinks {
+		ctx.CaptureFolds(ex.views[name], sink)
 	}
 	for _, s := range trg.Stmts {
 		// FoldStmt materializes the RHS before the target mutates (so

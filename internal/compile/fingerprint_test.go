@@ -1,0 +1,235 @@
+package compile
+
+// Fingerprint gate: canonical forms (and so fingerprints) must be
+// invariant under variable renaming, commutative operand reordering,
+// and constant folding — and must differ for every structural
+// perturbation. The property test drives randomized renamings so the
+// invariance is not an artifact of one hand-picked example.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/mring"
+)
+
+// q builds the reference plan: SELECT k, SUM(a*c) FROM R JOIN S ON k
+// WHERE a < c, written with the given variable names.
+func refQuery(a, k, c string) expr.Expr {
+	return expr.Sum([]string{k}, expr.Join(
+		expr.Base("R", a, k),
+		expr.Base("S", k, c),
+		expr.CmpE(expr.CLt, expr.V(a), expr.V(c)),
+		expr.ValE(expr.MulV(expr.V(a), expr.V(c))),
+	))
+}
+
+func TestCanonInvariance(t *testing.T) {
+	base := refQuery("a", "k", "c")
+	want := Canon(base)
+	invariants := map[string]expr.Expr{
+		"renamed": refQuery("x", "y", "z"),
+		"reordered-factors": expr.Sum([]string{"k"}, expr.Join(
+			expr.ValE(expr.MulV(expr.V("a"), expr.V("c"))),
+			expr.CmpE(expr.CLt, expr.V("a"), expr.V("c")),
+			expr.Base("S", "k", "c"),
+			expr.Base("R", "a", "k"),
+		)),
+		"unit-constant": expr.Sum([]string{"k"}, expr.Join(
+			&expr.Const{V: 2},
+			&expr.Const{V: 0.5},
+			expr.Base("R", "a", "k"),
+			expr.Base("S", "k", "c"),
+			expr.CmpE(expr.CLt, expr.V("a"), expr.V("c")),
+			expr.ValE(expr.MulV(expr.V("a"), expr.V("c"))),
+		)),
+	}
+	for name, v := range invariants {
+		if got := Canon(v); got != want {
+			t.Errorf("%s variant changed the canonical form\n got %s\nwant %s", name, got, want)
+		}
+		if Fingerprint(v) != Fingerprint(base) {
+			t.Errorf("%s variant changed the fingerprint", name)
+		}
+	}
+}
+
+func TestCanonDistinguishesStructure(t *testing.T) {
+	base := refQuery("a", "k", "c")
+	perturbed := map[string]expr.Expr{
+		"different-relation": expr.Sum([]string{"k"}, expr.Join(
+			expr.Base("R2", "a", "k"),
+			expr.Base("S", "k", "c"),
+			expr.CmpE(expr.CLt, expr.V("a"), expr.V("c")),
+			expr.ValE(expr.MulV(expr.V("a"), expr.V("c"))),
+		)),
+		"different-cmp-op": expr.Sum([]string{"k"}, expr.Join(
+			expr.Base("R", "a", "k"),
+			expr.Base("S", "k", "c"),
+			expr.CmpE(expr.CLe, expr.V("a"), expr.V("c")),
+			expr.ValE(expr.MulV(expr.V("a"), expr.V("c"))),
+		)),
+		"different-group-by": expr.Sum(nil, expr.Join(
+			expr.Base("R", "a", "k"),
+			expr.Base("S", "k", "c"),
+			expr.CmpE(expr.CLt, expr.V("a"), expr.V("c")),
+			expr.ValE(expr.MulV(expr.V("a"), expr.V("c"))),
+		)),
+		"dropped-predicate": expr.Sum([]string{"k"}, expr.Join(
+			expr.Base("R", "a", "k"),
+			expr.Base("S", "k", "c"),
+			expr.ValE(expr.MulV(expr.V("a"), expr.V("c"))),
+		)),
+		"different-constant": expr.Sum([]string{"k"}, expr.Join(
+			&expr.Const{V: 3},
+			expr.Base("R", "a", "k"),
+			expr.Base("S", "k", "c"),
+			expr.CmpE(expr.CLt, expr.V("a"), expr.V("c")),
+			expr.ValE(expr.MulV(expr.V("a"), expr.V("c"))),
+		)),
+		// Same skeleton, different variable wiring: the filter compares a
+		// column with itself instead of across relations. Must stay
+		// distinct even though every factor's shape matches.
+		"different-wiring": expr.Sum([]string{"k"}, expr.Join(
+			expr.Base("R", "a", "k"),
+			expr.Base("S", "k", "c"),
+			expr.CmpE(expr.CLt, expr.V("a"), expr.V("a")),
+			expr.ValE(expr.MulV(expr.V("a"), expr.V("c"))),
+		)),
+	}
+	want := Canon(base)
+	for name, p := range perturbed {
+		if Canon(p) == want {
+			t.Errorf("%s variant has the same canonical form as the base plan: %s", name, want)
+		}
+	}
+}
+
+// TestFingerprintPropertyRandomRenames is the property test: across
+// many random consistent variable renamings of several plan shapes,
+// fingerprints collide exactly for same-shape pairs.
+func TestFingerprintPropertyRandomRenames(t *testing.T) {
+	shapes := []func(a, k, c string) expr.Expr{
+		refQuery,
+		func(a, k, c string) expr.Expr {
+			return expr.Sum(nil, expr.Join(expr.Base("R", a, k), expr.Base("S", k, c)))
+		},
+		func(a, k, c string) expr.Expr {
+			return expr.Sum([]string{k}, expr.Join(
+				expr.Base("R", a, k),
+				expr.LiftQ(c, expr.Sum(nil, expr.Base("S", k, "d"))),
+				expr.CmpE(expr.CGt, expr.V(c), expr.LitI(5)),
+			))
+		},
+		func(a, k, c string) expr.Expr {
+			return expr.Sum([]string{k}, expr.Add(
+				expr.Base("R", a, k),
+				expr.Join(expr.Base("R", a, k), expr.ExistsE(expr.Base("S", k, c))),
+			))
+		},
+	}
+	rng := rand.New(rand.NewSource(42))
+	name := func() string { return fmt.Sprintf("u%d", rng.Intn(1_000_000)) }
+	fps := make([]map[uint64]bool, len(shapes))
+	for i := range fps {
+		fps[i] = map[uint64]bool{}
+	}
+	for trial := 0; trial < 200; trial++ {
+		a, k, c := name(), name(), name()
+		if a == k || k == c || a == c {
+			continue
+		}
+		for i, mk := range shapes {
+			fps[i][Fingerprint(mk(a, k, c))] = true
+		}
+	}
+	for i := range shapes {
+		if len(fps[i]) != 1 {
+			t.Fatalf("shape %d: renaming produced %d distinct fingerprints, want 1", i, len(fps[i]))
+		}
+	}
+	for i := range shapes {
+		for j := i + 1; j < len(shapes); j++ {
+			for fp := range fps[i] {
+				if fps[j][fp] {
+					t.Fatalf("shapes %d and %d collide on fingerprint %x", i, j, fp)
+				}
+			}
+		}
+	}
+}
+
+// TestSharedCompilerMergedOrder pins that merging a single program
+// through the shared compiler reproduces its trigger statement order
+// exactly — per-view fold sequences (and so float results) stay
+// bitwise identical to the independent engine.
+func TestSharedCompilerMergedOrder(t *testing.T) {
+	bases := map[string]mring.Schema{"R": {"a", "k"}, "S": {"k", "c"}}
+	q := expr.Sum([]string{"k"}, expr.Join(expr.Base("R", "a", "k"), expr.Base("S", "k", "c")))
+	sc := NewSharedCompiler(bases, DefaultOptions())
+	if err := sc.Register("V", q); err != nil {
+		t.Fatal(err)
+	}
+	shared, err := sc.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	top, _ := sc.Top("V")
+	solo, err := Compile(top, q, bases, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Auxiliary views carry fingerprint names in the shared program; map
+	// the solo names across (merge preserves view order) and compare the
+	// statement sequences under that renaming.
+	if len(shared.Views) != len(solo.Views) {
+		t.Fatalf("merge changed the view count: %d vs %d", len(shared.Views), len(solo.Views))
+	}
+	ren := map[string]string{}
+	for i, v := range solo.Views {
+		ren[v.Name] = shared.Views[i].Name
+	}
+	for rel := range bases {
+		st, ss := shared.Triggers[rel].Stmts, solo.Triggers[rel].Stmts
+		if len(st) != len(ss) {
+			t.Fatalf("trigger %s: %d merged statements, solo has %d", rel, len(st), len(ss))
+		}
+		for i := range st {
+			want := Stmt{LHS: ren[ss[i].LHS], Op: ss[i].Op, RHS: renameViews(ss[i].RHS, ren)}
+			if st[i].String() != want.String() {
+				t.Fatalf("trigger %s stmt %d reordered by merge\n got %s\nwant %s",
+					rel, i, st[i], want)
+			}
+		}
+	}
+}
+
+// TestSharedCompilerStatementDedup pins that registering two shapes
+// sharing a sub-plan yields each shared maintenance statement once.
+func TestSharedCompilerStatementDedup(t *testing.T) {
+	bases := map[string]mring.Schema{"R": {"a", "k"}, "S": {"k", "c"}}
+	join := func() expr.Expr { return expr.Join(expr.Base("R", "a", "k"), expr.Base("S", "k", "c")) }
+	sc := NewSharedCompiler(bases, DefaultOptions())
+	if err := sc.Register("G", expr.Sum([]string{"k"}, join())); err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Register("T", expr.Sum(nil, join())); err != nil {
+		t.Fatal(err)
+	}
+	prog, err := sc.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rel, trg := range prog.Triggers {
+		seen := map[string]bool{}
+		for _, s := range trg.Stmts {
+			key := canonStmtKey(s)
+			if seen[key] {
+				t.Fatalf("trigger %s refreshes a shared statement twice: %s", rel, s)
+			}
+			seen[key] = true
+		}
+	}
+}
