@@ -23,7 +23,7 @@ BENCH_BASELINE_FLAG := $(if $(wildcard $(BENCH_BASELINE)),-baseline $(BENCH_BASE
 STATICCHECK := honnef.co/go/tools/cmd/staticcheck@2025.1.1
 STATICCHECK_STRICT ?= 0
 
-.PHONY: build test lint fuzz bench bench-json api check-api ci
+.PHONY: build test lint fuzz bench bench-json api check-api soak ci
 
 build:
 	$(GO) build ./...
@@ -68,12 +68,25 @@ check-api:
 # BENCH_$(PR).json (query, batch size, tuples/sec, shuffled bytes), and
 # diffs the tracked microbenchmark speedup ratios against
 # $(BENCH_BASELINE): the target (and the CI job) fails when the
-# RelationAddGet, AggGroupUpdate, ColFilter, ColFold, or MultiView ratio
-# drops more than 15%, when AggGroupUpdate falls below its 1.5x
-# acceptance floor, when neither columnar kernel ratio clears its 1.5x
-# floor, or when MultiView falls below its 2x shared/independent floor.
+# RelationAddGet, AggGroupUpdate, ColFilter, ColFold, MultiView,
+# AdaptiveBatch, or SkewRebalance ratio drops more than 15%, when
+# AggGroupUpdate falls below its 1.5x acceptance floor, when neither
+# columnar kernel ratio clears its 1.5x floor, when MultiView falls
+# below its 2x shared/independent floor, when the adaptive batch
+# controller lands below 0.9x of the best fixed transaction size, or
+# when skew-feedback repartitioning gains less than 1.2x virtual
+# critical-path compute on the hot-key stream.
 bench-json:
 	$(GO) run ./cmd/benchjson -pr $(PR) -out BENCH_$(PR).json $(BENCH_BASELINE_FLAG)
+
+# soak runs the self-tuning controller against a skewed stream for
+# SOAK_TIME of wall time under the race detector and asserts that the
+# batch target does not oscillate past the hysteresis bounds and that
+# repartitioning settles (same step as CI). SOAK_TIME=2s by default for
+# a quick local check; CI uses 30s.
+SOAK_TIME ?= 2s
+soak:
+	TUNE_SOAK=$(SOAK_TIME) $(GO) test -race -run '^TestTuningSoak$$' -v .
 
 ci: lint build test check-api
 	@$(MAKE) bench || echo "warning: benchmark smoke pass failed"

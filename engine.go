@@ -26,6 +26,8 @@ type engineConfig struct {
 	keyRanks    map[string]int
 	copts       compile.Options
 	singleTuple bool
+	autoTune    bool
+	tuneCfg     TuneConfig
 }
 
 // Option configures an Engine at construction.
@@ -107,6 +109,19 @@ type backend interface {
 	// Metrics returns the cumulative and last-transaction platform cost
 	// (zero on the local backend).
 	Metrics() (total, lastTx Metrics)
+	// WorkerTimings returns each worker's accumulated stage compute in
+	// worker-index order (nil on the local backend) — the skew signal.
+	WorkerTimings() []cluster.WorkerTiming
+	// ForEachRelation visits every maintained relation (every node's
+	// fragments on the cluster backend) for index-admission sweeps and
+	// per-index stats, in a deterministic order.
+	ForEachRelation(f func(name string, r *mring.Relation))
+	// Rebalance re-derives the partitioning from measured placement
+	// skew and, when the choice changed, redeploys state and programs
+	// under the new placement. Reports whether anything changed; always
+	// (false, nil) on the local backend. Must only run between
+	// transactions.
+	Rebalance() (bool, error)
 }
 
 // serving is the shared front half of Engine and Registry: transaction
@@ -114,7 +129,17 @@ type backend interface {
 // subscriber routing.
 type serving struct {
 	prog *compile.Program
+
+	// beMu serializes all backend access: transactions, warm starts,
+	// stats/metrics/result snapshots, and the tuner's actuation, so
+	// observation paths are safe to call concurrently with Apply. Lock
+	// order is beMu before mu; subscriber callbacks run with neither
+	// held.
+	beMu sync.Mutex
 	be   backend
+	// tn is the self-tuning controller loop (nil without AutoTune).
+	// Guarded by beMu.
+	tn *tuner
 
 	mu    sync.Mutex
 	next  int
@@ -180,13 +205,14 @@ func New(name string, query Expr, bases map[string]Schema, opts ...Option) (*Eng
 		return nil, err
 	}
 	e := &Engine{name: name}
-	e.init(prog, cfg.backend(prog))
+	e.init(prog, cfg.backend(prog), newTuner(&cfg))
 	return e, nil
 }
 
-func (s *serving) init(prog *compile.Program, be backend) {
+func (s *serving) init(prog *compile.Program, be backend, tn *tuner) {
 	s.prog = prog
 	s.be = be
+	s.tn = tn
 	s.feeds = make(map[string]*feed)
 }
 
@@ -197,23 +223,115 @@ func (e *Engine) Program() *Program { return e.prog }
 // TriggerProgram renders the maintenance program run for batches of one
 // base table: the local trigger or the compiled distributed program,
 // depending on the backend. Empty for unknown tables.
-func (e *Engine) TriggerProgram(table string) string { return e.be.TriggerProgram(table) }
+func (e *Engine) TriggerProgram(table string) string { return e.triggerProgram(table) }
 
-// Stats returns the evaluation statistics accumulated across all
-// transactions (on the distributed backend: across all nodes, merged
-// deterministically).
-func (e *Engine) Stats() Stats { return e.be.Stats() }
+// Stats returns the engine's runtime statistics — evaluation counters
+// (on the distributed backend merged deterministically across nodes),
+// per-worker stage timings, per-index admission state, and the tuning
+// controller's state. The snapshot is taken under the backend lock, so
+// it is consistent even while another goroutine is applying
+// transactions.
+func (e *Engine) Stats() Stats { return e.statsSnapshot() }
 
 // Metrics returns the cumulative virtual platform cost of all processed
 // transactions. Zero on the local backend.
-func (e *Engine) Metrics() Metrics { total, _ := e.be.Metrics(); return total }
+func (e *Engine) Metrics() Metrics { total, _ := e.metricsSnapshot(); return total }
 
 // LastMetrics returns the platform cost of the most recently applied
 // transaction. Zero on the local backend.
-func (e *Engine) LastMetrics() Metrics { _, last := e.be.Metrics(); return last }
+func (e *Engine) LastMetrics() Metrics { _, last := e.metricsSnapshot(); return last }
 
 // Result returns the maintained query result. Iterate with Foreach.
-func (e *Engine) Result() *Result { return &Result{rel: e.be.ViewContents(e.prog.QueryName)} }
+func (e *Engine) Result() *Result { return e.result(e.prog.QueryName) }
+
+// triggerProgram renders a trigger under the backend lock (the
+// distributed programs can be swapped by a tuner repartition).
+func (s *serving) triggerProgram(table string) string {
+	s.beMu.Lock()
+	defer s.beMu.Unlock()
+	return s.be.TriggerProgram(table)
+}
+
+// statsSnapshot flushes any coalesced transactions (statistics must
+// reflect every accepted transaction) and assembles the full Stats
+// under the backend lock.
+func (s *serving) statsSnapshot() Stats {
+	s.beMu.Lock()
+	defer s.beMu.Unlock()
+	s.flushObservationLocked()
+	st := Stats{Stats: s.be.Stats()}
+	st.Workers = s.be.WorkerTimings()
+	st.Indexes = s.indexStatsLocked()
+	if s.tn != nil {
+		st.Tuning = s.tn.snapshot()
+	}
+	return st
+}
+
+// indexStatsLocked aggregates per-index admission state by (view,
+// columns) across all fragments, sorted by view name then column mask.
+func (s *serving) indexStatsLocked() []IndexStat {
+	type ikey struct {
+		view string
+		mask uint64
+	}
+	agg := make(map[ikey]*IndexStat)
+	var order []ikey
+	s.be.ForEachRelation(func(name string, r *mring.Relation) {
+		for _, h := range r.IndexHealthSnapshot() {
+			k := ikey{name, mring.ColMask(h.Cols)}
+			a := agg[k]
+			if a == nil {
+				a = &IndexStat{View: name, Cols: h.Cols}
+				agg[k] = a
+				order = append(order, k)
+			}
+			a.Probes += h.Probes
+			a.Maintains += h.Maintains
+			a.ScanProbes += h.ScanProbes
+			if h.Demoted {
+				a.Demoted = true
+			}
+		}
+	})
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].view != order[j].view {
+			return order[i].view < order[j].view
+		}
+		return order[i].mask < order[j].mask
+	})
+	out := make([]IndexStat, 0, len(order))
+	for _, k := range order {
+		out = append(out, *agg[k])
+	}
+	return out
+}
+
+func (s *serving) metricsSnapshot() (Metrics, Metrics) {
+	s.beMu.Lock()
+	defer s.beMu.Unlock()
+	s.flushObservationLocked()
+	return s.be.Metrics()
+}
+
+func (s *serving) result(view string) *Result {
+	s.beMu.Lock()
+	defer s.beMu.Unlock()
+	s.flushObservationLocked()
+	return &Result{rel: s.be.ViewContents(view)}
+}
+
+// flushObservationLocked drains coalesced transactions before engine
+// state is observed, so tuning stays invisible to results. A flush
+// error on a path that cannot return it is surfaced by the next Apply.
+func (s *serving) flushObservationLocked() {
+	if s.tn == nil {
+		return
+	}
+	if err := s.tn.drainLocked(s, true); err != nil && s.tn.err == nil {
+		s.tn.err = err
+	}
+}
 
 // knownTables renders the engine's base tables for error messages.
 func knownTables(bases map[string]Schema) string {
@@ -255,10 +373,28 @@ func (s *serving) applyTx(tx *Tx) error {
 		}
 		batches = append(batches, compile.TableBatch{Table: table, Batch: b.rel})
 	}
-	deltas, err := s.be.ApplyTx(batches, s.captureList())
+	s.beMu.Lock()
+	if s.tn != nil {
+		if err := s.tn.takeErr(); err != nil {
+			s.beMu.Unlock()
+			return err
+		}
+	}
+	capture := s.captureList()
+	var deltas map[string]*mring.Relation
+	var err error
+	if s.tn != nil {
+		deltas, err = s.tn.applyLocked(s, batches, capture)
+	} else {
+		deltas, err = s.be.ApplyTx(batches, capture)
+	}
+	s.beMu.Unlock()
 	if err != nil {
 		return err
 	}
+	// Deliver (or, with no subscribers, just advance the feed sequence)
+	// outside the backend lock, so subscriber callbacks may re-enter the
+	// engine (Stats, Result, cancel, even Apply) freely.
 	s.deliver(deltas)
 	return nil
 }
@@ -320,7 +456,15 @@ func (s *serving) warm(tables map[string]*Batch) error {
 			init[n] = mring.NewRelation(schema)
 		}
 	}
+	s.beMu.Lock()
+	if s.tn != nil {
+		if err := s.tn.drainLocked(s, true); err != nil {
+			s.beMu.Unlock()
+			return err
+		}
+	}
 	deltas, err := s.be.Warm(init, s.captureList())
+	s.beMu.Unlock()
 	if err != nil {
 		return err
 	}
@@ -409,6 +553,13 @@ func (s *serving) subscribe(view string, fn func(Delta), opts ...SubOption) (fun
 		return nil, fmt.Errorf("ivm: subscription key has %d columns, result schema %v has %d",
 			len(cfg.key), []string(schema), len(schema))
 	}
+	// Flush coalesced transactions and register under the backend lock:
+	// from the subscriber's perspective everything before this call is
+	// already folded, and every transaction after it is delivered
+	// individually (coalescing turns off while subscribers exist).
+	s.beMu.Lock()
+	defer s.beMu.Unlock()
+	s.flushObservationLocked()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	f := s.feeds[view]
@@ -437,6 +588,10 @@ func (s *serving) subscribe(view string, fn func(Delta), opts ...SubOption) (fun
 }
 
 func (s *serving) unsubscribe(view string, sub *subscriber) {
+	// beMu is held because removing the last subscriber touches the
+	// backend (StopCapture); lock order beMu before mu.
+	s.beMu.Lock()
+	defer s.beMu.Unlock()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	f := s.feeds[view]
@@ -618,16 +773,25 @@ func (lb *localBackend) TriggerProgram(table string) string {
 
 func (lb *localBackend) Metrics() (Metrics, Metrics) { return Metrics{}, Metrics{} }
 
+func (lb *localBackend) WorkerTimings() []cluster.WorkerTiming { return nil }
+
+func (lb *localBackend) ForEachRelation(f func(name string, r *mring.Relation)) {
+	lb.ex.ForEachView(f)
+}
+
+func (lb *localBackend) Rebalance() (bool, error) { return false, nil }
+
 // distBackend runs the compiled program on the simulated synchronous
 // cluster: views are partitioned by the paper's heuristic and batches
 // are processed through compiled distributed trigger programs.
 type distBackend struct {
-	prog   *compile.Program
-	parts  dist.PartInfo
-	dprogs map[string]*dist.DistProgram
-	cl     *cluster.Cluster
-	total  Metrics
-	last   Metrics
+	prog     *compile.Program
+	parts    dist.PartInfo
+	keyRanks map[string]int
+	dprogs   map[string]*dist.DistProgram
+	cl       *cluster.Cluster
+	total    Metrics
+	last     Metrics
 	// watching mirrors the cluster's watch set (a view is in it only
 	// while the engine has changefeed subscribers for it).
 	watching map[string]bool
@@ -637,7 +801,7 @@ func newDistBackend(prog *compile.Program, workers int, keyRanks map[string]int)
 	parts := dist.ChoosePartitioning(prog, keyRanks)
 	dprogs := dist.CompileProgram(prog, parts, dist.O3)
 	cl := cluster.New(cluster.DefaultConfig(workers), dist.ViewSchemas(prog), parts)
-	return &distBackend{prog: prog, parts: parts, dprogs: dprogs, cl: cl, watching: make(map[string]bool)}
+	return &distBackend{prog: prog, parts: parts, keyRanks: keyRanks, dprogs: dprogs, cl: cl, watching: make(map[string]bool)}
 }
 
 // setCapture reconciles the cluster's watch set with the views that
@@ -751,3 +915,91 @@ func (db *distBackend) TriggerProgram(table string) string {
 }
 
 func (db *distBackend) Metrics() (Metrics, Metrics) { return db.total, db.last }
+
+func (db *distBackend) WorkerTimings() []cluster.WorkerTiming { return db.cl.WorkerTimings() }
+
+func (db *distBackend) ForEachRelation(f func(name string, r *mring.Relation)) {
+	db.cl.ForEachRelation(f)
+}
+
+// persistentViews visits the program's persistent (non-transient,
+// non-delta) views — the ones that hold state across transactions and
+// therefore must move in a repartition.
+func (db *distBackend) persistentViews(f func(v *compile.ViewDef)) {
+	for _, v := range db.prog.Views {
+		if v.Transient || expr.HasDelta(v.Def) {
+			continue
+		}
+		f(v)
+	}
+}
+
+// measureSkew returns, per candidate partition column, the observed
+// placement imbalance (max/mean fragment size) hash placement on that
+// column would produce, aggregated tuple-count-weighted over the
+// persistent distributed views whose schema holds the column. This is
+// the measured replacement for the heuristic's uniform-skew assumption.
+func (db *distBackend) measureSkew() map[string]float64 {
+	n := db.cl.Workers()
+	if n < 2 {
+		return nil
+	}
+	num := make(map[string]float64)
+	den := make(map[string]float64)
+	db.persistentViews(func(v *compile.ViewDef) {
+		if !db.parts[v.Name].Keyed() {
+			return
+		}
+		rel := db.cl.ViewContents(v.Name)
+		// Tiny views cannot produce a meaningful imbalance estimate.
+		if rel.Len() < 64 {
+			return
+		}
+		for _, col := range v.Schema {
+			if db.keyRanks[col] < 2 {
+				continue
+			}
+			sk := dist.KeySkew(rel, []int{v.Schema.Index(col)}, n)
+			num[col] += sk * float64(rel.Len())
+			den[col] += float64(rel.Len())
+		}
+	})
+	w := make(map[string]float64, len(num))
+	for col, s := range num {
+		w[col] = s / den[col]
+	}
+	return w
+}
+
+// Rebalance re-runs the partitioning heuristic with measured skew
+// weights and, when it picks a different placement, redeploys between
+// transactions: moved views are gathered, the cluster drops all state
+// compiled against the old placement (keeping unmoved persistent
+// views in place), the moved contents re-install under their new keys,
+// and the distributed trigger programs recompile against the new
+// placement.
+func (db *distBackend) Rebalance() (bool, error) {
+	weights := db.measureSkew()
+	if len(weights) == 0 {
+		return false, nil
+	}
+	parts := dist.ChoosePartitioningWeighted(db.prog, db.keyRanks, weights)
+	if parts.Equal(db.parts) {
+		return false, nil
+	}
+	moved := make(map[string]*mring.Relation)
+	keep := make(map[string]bool)
+	db.persistentViews(func(v *compile.ViewDef) {
+		if db.parts[v.Name].Equal(parts[v.Name]) {
+			keep[v.Name] = true
+		} else {
+			moved[v.Name] = db.cl.ViewContents(v.Name)
+		}
+	})
+	if err := db.cl.Repartition(parts, moved, keep); err != nil {
+		return false, err
+	}
+	db.parts = parts
+	db.dprogs = dist.CompileProgram(db.prog, parts, dist.O3)
+	return true, nil
+}

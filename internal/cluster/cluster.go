@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
@@ -140,6 +141,24 @@ type Cluster struct {
 	// Several views can be watched at once (multi-view serving); an
 	// empty map disables all capture.
 	watch map[string]*mring.Relation
+	// workerCompute and workerStages accumulate, per worker, the virtual
+	// stage compute and the number of distributed stages executed — the
+	// skew signal WorkerTimings exports (merged-away maxima alone cannot
+	// show which worker is hot).
+	workerCompute []time.Duration
+	workerStages  []int
+}
+
+// WorkerTiming is one worker's accumulated share of distributed-stage
+// work, as reported by WorkerTimings. Compute is the sum over stages of
+// this worker's virtual compute (the same per-worker term whose maximum
+// feeds Metrics.ComputeMax); Stages counts the distributed stages the
+// worker participated in. A max/mean ratio over Compute far above 1 is
+// partition skew.
+type WorkerTiming struct {
+	Worker  int
+	Compute time.Duration
+	Stages  int
 }
 
 // New creates a cluster with empty state.
@@ -148,12 +167,14 @@ func New(cfg Config, schemas map[string]mring.Schema, parts dist.PartInfo) *Clus
 		panic("cluster: need at least one worker")
 	}
 	c := &Cluster{
-		cfg:     cfg,
-		driver:  newNode(),
-		workers: make([]*node, cfg.Workers),
-		schemas: schemas,
-		parts:   parts,
-		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		cfg:           cfg,
+		driver:        newNode(),
+		workers:       make([]*node, cfg.Workers),
+		schemas:       schemas,
+		parts:         parts,
+		rng:           rand.New(rand.NewSource(cfg.Seed)),
+		workerCompute: make([]time.Duration, cfg.Workers),
+		workerStages:  make([]int, cfg.Workers),
 	}
 	for i := range c.workers {
 		c.workers[i] = newNode()
@@ -163,6 +184,62 @@ func New(cfg Config, schemas map[string]mring.Schema, parts dist.PartInfo) *Clus
 
 // Workers returns the configured worker count.
 func (c *Cluster) Workers() int { return c.cfg.Workers }
+
+// WorkerTimings returns each worker's accumulated distributed-stage
+// compute since the cluster started, in worker-index order. Callers
+// diff consecutive snapshots to get per-transaction skew.
+func (c *Cluster) WorkerTimings() []WorkerTiming {
+	out := make([]WorkerTiming, len(c.workers))
+	for i := range c.workers {
+		out[i] = WorkerTiming{Worker: i, Compute: c.workerCompute[i], Stages: c.workerStages[i]}
+	}
+	return out
+}
+
+// ForEachRelation visits every named relation fragment on every node —
+// driver first, then workers in index order, names sorted within each
+// node — so per-fragment state (index admission records) can be swept
+// and aggregated deterministically.
+func (c *Cluster) ForEachRelation(f func(name string, r *mring.Relation)) {
+	visit := func(n *node) {
+		names := make([]string, 0, len(n.rels))
+		for name := range n.rels {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			f(name, n.rels[name])
+		}
+	}
+	visit(c.driver)
+	for _, w := range c.workers {
+		visit(w)
+	}
+}
+
+// Repartition swaps the cluster's placement map between transactions:
+// every relation not named in keep (moved views, temp/transient state,
+// and stale delta fragments — anything a program compiled against the
+// old placement may have left behind) is dropped from the driver and
+// all workers, the new placement takes effect, and the moved views'
+// gathered contents are re-installed under their new locations via
+// WarmViews. The caller must not run a program compiled against the old
+// placement afterwards.
+func (c *Cluster) Repartition(parts dist.PartInfo, contents map[string]*mring.Relation, keep map[string]bool) error {
+	drop := func(n *node) {
+		for name := range n.rels {
+			if !keep[name] {
+				delete(n.rels, name)
+			}
+		}
+	}
+	drop(c.driver)
+	for _, w := range c.workers {
+		drop(w)
+	}
+	c.parts = parts
+	return c.WarmViews(contents)
+}
 
 // WatchView starts capturing every maintenance write to the named view
 // as a per-batch delta. Several views can be watched at once; watching
@@ -476,6 +553,8 @@ func (c *Cluster) runDistBlock(b dist.Block, m *Metrics) {
 	var maxCompute, sumCompute time.Duration
 	for i := range c.workers {
 		c.Stats.Add(stats[i])
+		c.workerCompute[i] += computes[i]
+		c.workerStages[i]++
 		sumCompute += computes[i]
 		if computes[i] > maxCompute {
 			maxCompute = computes[i]

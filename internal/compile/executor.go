@@ -187,6 +187,19 @@ func (ex *Executor) runTrigger(trg *Trigger, rel string, batch *mring.Relation, 
 	ex.Stats.Add(ctx.Stats)
 }
 
+// ForEachView calls f for every non-transient materialized view, in
+// program order. The tuning layer uses it to sweep per-index admission
+// state; transient (per-transaction) views are skipped — their indexes
+// live only for one maintenance step and are never worth demoting.
+func (ex *Executor) ForEachView(f func(name string, r *mring.Relation)) {
+	for _, v := range ex.prog.Views {
+		if v.Transient {
+			continue
+		}
+		f(v.Name, ex.views[v.Name])
+	}
+}
+
 // MemoryFootprint returns the total number of tuples held across all
 // non-transient materialized views (the Sec. 6.1 memory discussion).
 func (ex *Executor) MemoryFootprint() int {

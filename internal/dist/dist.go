@@ -78,6 +78,27 @@ func (l Loc) String() string {
 // Keyed reports whether the location is distributed with a partition key.
 func (l Loc) Keyed() bool { return l.Kind == LDist && len(l.Key) > 0 }
 
+// Equal reports whether two locations place data identically (same kind
+// and same partition key columns in order).
+func (l Loc) Equal(o Loc) bool {
+	return l.Kind == o.Kind && l.Key.Equal(o.Key)
+}
+
+// Equal reports whether two placement maps locate every relation
+// identically — the "did repartitioning actually change anything" test.
+func (p PartInfo) Equal(o PartInfo) bool {
+	if len(p) != len(o) {
+		return false
+	}
+	for k, v := range p {
+		ov, ok := o[k]
+		if !ok || !v.Equal(ov) {
+			return false
+		}
+	}
+	return true
+}
+
 // PartInfo maps relation names (views, transient views, and delta
 // batches under their Δ-names) to their locations.
 type PartInfo map[string]Loc

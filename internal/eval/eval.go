@@ -279,7 +279,13 @@ func (c *Ctx) evalSlice(r *expr.Rel, rel *mring.Relation, b *Binding, boundCols,
 		c.evalSliceScan(r, rel, b, boundCols, freeCols, emit)
 		return
 	}
-	idx, built := rel.EnsureIndex(boundCols)
+	idx, built, ok := rel.SliceIndex(boundCols)
+	if !ok {
+		// The admission policy has demoted this index (probed ≪
+		// maintained): answer from the scan fallback instead.
+		c.evalSliceScan(r, rel, b, boundCols, freeCols, emit)
+		return
+	}
 	if built {
 		c.Stats.IndexOps++
 	}

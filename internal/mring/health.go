@@ -1,0 +1,107 @@
+package mring
+
+import "sort"
+
+// idxHealth is the per-index admission record: probe/maintenance
+// traffic counters plus the demotion flag. It lives on the Relation
+// (keyed by bound-column mask) and survives the Index itself, so a
+// demoted index keeps accumulating the scan-probe traffic that argues
+// for its readmission.
+type idxHealth struct {
+	pos        []int
+	probes     int64 // probes served by the index while admitted
+	maintains  int64 // incremental insert/remove operations applied to the index
+	scanProbes int64 // probes answered by the scan fallback while demoted
+	demoted    bool
+}
+
+// IndexHealth is one secondary index's admission state, as reported by
+// IndexHealthSnapshot. Counters reset on demotion and readmission, so
+// they always describe the current admission episode.
+type IndexHealth struct {
+	Cols       []int // ascending bound-column positions
+	Probes     int64 // probes served by the index
+	Maintains  int64 // incremental maintenance ops applied to the index
+	ScanProbes int64 // probes served by the scan fallback while demoted
+	Demoted    bool
+}
+
+// healthFor returns (creating if needed) the admission record for the
+// index over pos.
+func (r *Relation) healthFor(mask uint64, pos []int) *idxHealth {
+	if h, ok := r.health[mask]; ok {
+		return h
+	}
+	if r.health == nil {
+		r.health = make(map[uint64]*idxHealth)
+	}
+	h := &idxHealth{pos: append([]int(nil), pos...)}
+	r.health[mask] = h
+	return h
+}
+
+// SliceIndex is the admission gate for slice access paths: it returns
+// the secondary index over pos unless the admission policy has demoted
+// it, in which case it records the scan-probe and reports ok=false so
+// the caller falls back to an on-demand scan. built reports whether the
+// index was built from current contents on this call (for index-op
+// stats). Callers must have checked Indexable(pos).
+func (r *Relation) SliceIndex(pos []int) (idx *Index, built, ok bool) {
+	mask := ColMask(pos)
+	h := r.healthFor(mask, pos)
+	if h.demoted {
+		h.scanProbes++
+		return nil, false, false
+	}
+	idx, built = r.EnsureIndex(pos)
+	return idx, built, true
+}
+
+// DemoteIndex drops the secondary index over pos: the index is
+// unregistered (no further maintenance cost) and subsequent SliceIndex
+// calls fall back to scans until ReadmitIndex. Counters reset so the
+// demotion episode is judged on fresh traffic.
+func (r *Relation) DemoteIndex(pos []int) {
+	mask := ColMask(pos)
+	h := r.healthFor(mask, pos)
+	h.demoted = true
+	h.probes, h.maintains, h.scanProbes = 0, 0, 0
+	delete(r.idxs, mask)
+}
+
+// ReadmitIndex re-admits a demoted index; the next SliceIndex rebuilds
+// it from current contents. Counters reset, giving the index a fresh
+// trial before it can be judged cold again — the hysteresis that
+// bounds demote/readmit flapping.
+func (r *Relation) ReadmitIndex(pos []int) {
+	mask := ColMask(pos)
+	h := r.healthFor(mask, pos)
+	h.demoted = false
+	h.probes, h.maintains, h.scanProbes = 0, 0, 0
+}
+
+// IndexHealthSnapshot returns the admission state of every secondary
+// index that has ever been requested on this relation, ordered by
+// bound-column mask (deterministic).
+func (r *Relation) IndexHealthSnapshot() []IndexHealth {
+	if len(r.health) == 0 {
+		return nil
+	}
+	masks := make([]uint64, 0, len(r.health))
+	for m := range r.health {
+		masks = append(masks, m)
+	}
+	sort.Slice(masks, func(i, j int) bool { return masks[i] < masks[j] })
+	out := make([]IndexHealth, 0, len(masks))
+	for _, m := range masks {
+		h := r.health[m]
+		out = append(out, IndexHealth{
+			Cols:       append([]int(nil), h.pos...),
+			Probes:     h.probes,
+			Maintains:  h.maintains,
+			ScanProbes: h.scanProbes,
+			Demoted:    h.demoted,
+		})
+	}
+	return out
+}

@@ -38,7 +38,6 @@ import (
 	"math"
 
 	"repro/internal/compile"
-	"repro/internal/eval"
 	"repro/internal/expr"
 	"repro/internal/mring"
 )
@@ -60,9 +59,6 @@ type (
 	Options = compile.Options
 	// Program is a compiled recursive maintenance program.
 	Program = compile.Program
-	// Stats counts evaluation operations (lookups, scans, emits, index
-	// builds) accumulated while maintaining views.
-	Stats = eval.Stats
 )
 
 // Query construction (the algebra of Sec. 3.1).

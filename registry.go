@@ -58,14 +58,19 @@ func NewRegistry(bases map[string]Schema, opts ...Option) (*Registry, error) {
 // after the shared program was built (after the first Apply, Warm,
 // Result, or Subscribe) are rejected.
 func (r *Registry) Register(name string, query Expr) error {
+	r.beMu.Lock()
+	defer r.beMu.Unlock()
 	if r.built {
 		return fmt.Errorf("ivm: registry already serving; register all views before the first transaction")
 	}
 	return r.sc.Register(name, query)
 }
 
-// ensure builds the shared program and backend on first use.
+// ensure builds the shared program and backend on first use; guarded by
+// the backend lock so concurrent first uses build exactly once.
 func (r *Registry) ensure() error {
+	r.beMu.Lock()
+	defer r.beMu.Unlock()
 	if r.built {
 		return nil
 	}
@@ -73,7 +78,7 @@ func (r *Registry) ensure() error {
 	if err != nil {
 		return err
 	}
-	r.init(prog, r.cfg.backend(prog))
+	r.init(prog, r.cfg.backend(prog), newTuner(&r.cfg))
 	r.built = true
 	return nil
 }
@@ -138,7 +143,7 @@ func (r *Registry) Result(name string) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Result{rel: r.be.ViewContents(top)}, nil
+	return r.result(top), nil
 }
 
 // Subscribe registers a changefeed subscriber on one registered view;
@@ -184,16 +189,16 @@ func (r *Registry) TriggerProgram(table string) string {
 	if err := r.ensure(); err != nil {
 		return ""
 	}
-	return r.be.TriggerProgram(table)
+	return r.triggerProgram(table)
 }
 
-// Stats returns the evaluation statistics accumulated across all
-// transactions.
+// Stats returns the registry's runtime statistics (see Engine.Stats);
+// the snapshot is taken under the backend lock.
 func (r *Registry) Stats() (Stats, error) {
 	if err := r.ensure(); err != nil {
 		return Stats{}, err
 	}
-	return r.be.Stats(), nil
+	return r.statsSnapshot(), nil
 }
 
 // Metrics returns the cumulative virtual platform cost of all processed
@@ -202,7 +207,7 @@ func (r *Registry) Metrics() Metrics {
 	if err := r.ensure(); err != nil {
 		return Metrics{}
 	}
-	total, _ := r.be.Metrics()
+	total, _ := r.metricsSnapshot()
 	return total
 }
 
@@ -212,7 +217,7 @@ func (r *Registry) LastMetrics() Metrics {
 	if err := r.ensure(); err != nil {
 		return Metrics{}
 	}
-	_, last := r.be.Metrics()
+	_, last := r.metricsSnapshot()
 	return last
 }
 

@@ -1,0 +1,373 @@
+package ivm
+
+import (
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/compile"
+	"repro/internal/eval"
+	"repro/internal/mring"
+	"repro/internal/tune"
+)
+
+// Stats reports an engine's (or registry's) accumulated runtime
+// statistics: the embedded evaluation counters (lookups, scans, emits,
+// index builds — merged deterministically across nodes on the
+// distributed backend), per-worker stage timings, per-index admission
+// state, and the self-tuning controller's state. Snapshots are taken
+// under the backend lock, so they are safe to read concurrently with
+// Apply.
+type Stats struct {
+	eval.Stats
+	// Workers holds each worker's accumulated distributed-stage compute
+	// in worker-index order (nil on the local backend). Compute is the
+	// per-worker sum of virtual stage compute — the term whose per-stage
+	// maximum is Metrics.ComputeMax — and Stages counts the distributed
+	// stages the worker ran. A max/mean ratio over Compute far above 1
+	// is partition skew; this is the signal AutoTune's repartitioning
+	// feedback consumes, exported so users can see it too.
+	Workers []WorkerTiming
+	// Indexes holds the per-index probe/maintenance counters driving
+	// index admission, aggregated per (view, columns) across fragments
+	// and sorted by view name then column mask. Populated on both
+	// backends whether or not AutoTune is enabled.
+	Indexes []IndexStat
+	// Tuning is the adaptive controller's state; Enabled is false (and
+	// the rest zero) without the AutoTune option.
+	Tuning TuningStats
+}
+
+// WorkerTiming is one worker's accumulated stage timing (see
+// Stats.Workers).
+type WorkerTiming = cluster.WorkerTiming
+
+// IndexStat is the admission state of one secondary index, identified
+// by view and bound-column positions. Counters reset on demotion and
+// readmission, so they describe the current admission episode.
+type IndexStat struct {
+	View string
+	Cols []int
+	// Probes counts probes served by the index; Maintains counts
+	// incremental maintenance operations applied to it; ScanProbes
+	// counts probes answered by the scan fallback while demoted.
+	Probes, Maintains, ScanProbes int64
+	// Demoted reports whether the admission policy currently has this
+	// index demoted to on-demand scans.
+	Demoted bool
+}
+
+// TuningStats is the self-tuning controller's state (see AutoTune).
+type TuningStats struct {
+	// Enabled reports whether the engine was built with AutoTune.
+	Enabled bool
+	// BatchTarget is the controller's current effective maintenance
+	// batch size (tuples per fold); Settled reports whether the hill
+	// climb has converged and frozen it.
+	BatchTarget int
+	Settled     bool
+	// Throughput is the last measured controller window's mean
+	// maintenance throughput in tuples/sec.
+	Throughput float64
+	// Imbalance is the EWMA-smoothed max/mean per-worker compute ratio
+	// (0 on the local backend or before the first distributed fold).
+	Imbalance float64
+	// Coalesced counts transactions deferred into the pending buffer,
+	// Flushes the target-sized folds that drained it, and Splits the
+	// oversized batches split across folds.
+	Coalesced, Flushes, Splits int64
+	// Repartitions counts skew-triggered placement changes that were
+	// actually deployed.
+	Repartitions int64
+	// Demotions and Readmissions count index admission actions.
+	Demotions, Readmissions int64
+}
+
+// TuneConfig overrides the self-tuning defaults; the zero value (and
+// any zero field) means the calibrated default. See AutoTune.
+type TuneConfig struct {
+	// MinBatch/MaxBatch bound the effective maintenance batch size the
+	// controller may choose; InitialBatch is its starting point
+	// (defaults 64 / 65536 / 1024).
+	MinBatch, MaxBatch, InitialBatch int
+	// Window is the number of folds measured per controller step
+	// (default 4); Hysteresis the relative-throughput dead band that
+	// prevents oscillation (default 0.05).
+	Window     int
+	Hysteresis float64
+	// SkewThreshold is the max/mean per-worker compute imbalance above
+	// which repartitioning is considered (default 1.5); SkewPatience
+	// consecutive observations must exceed it (default 3), and
+	// SkewCooldown observations follow every attempt (default 16).
+	SkewThreshold              float64
+	SkewPatience, SkewCooldown int
+	// DemoteAfter is the minimum maintenance ops before an index can be
+	// judged cold (default 4096); an index is demoted when
+	// Probes*ColdRatio < Maintains (default ratio 16) and readmitted
+	// after ReadmitProbes scan-fallback probes (default 64). SweepEvery
+	// is the number of folds between admission sweeps (default 32).
+	DemoteAfter, ColdRatio, ReadmitProbes int64
+	SweepEvery                            int
+	// Now is the clock used to time folds; tests inject a deterministic
+	// one. Nil means time.Now.
+	Now func() time.Time
+}
+
+func (tc TuneConfig) internal() tune.Config {
+	return tune.Config{
+		MinBatch: tc.MinBatch, MaxBatch: tc.MaxBatch, InitialBatch: tc.InitialBatch,
+		Window: tc.Window, Hysteresis: tc.Hysteresis,
+		SkewThreshold: tc.SkewThreshold, SkewPatience: tc.SkewPatience, SkewCooldown: tc.SkewCooldown,
+		DemoteAfter: tc.DemoteAfter, ColdRatio: tc.ColdRatio, ReadmitProbes: tc.ReadmitProbes,
+		SweepEvery: tc.SweepEvery, Now: tc.Now,
+	}.WithDefaults()
+}
+
+// AutoTune enables the self-tuning runtime: one adaptive controller
+// loop per engine/registry that (a) grows or shrinks the effective
+// maintenance batch size from measured tuples/sec with a hill-climbing
+// controller, coalescing and splitting incoming transactions at the
+// engine boundary; (b) on the distributed backend, feeds measured
+// per-worker skew back into the partitioning heuristic and recompiles
+// to a better placement between transactions; and (c) demotes cold
+// secondary indexes (probed ≪ maintained) to on-demand scans,
+// readmitting them when probe traffic returns.
+//
+// Tuning never changes result semantics, only cost: coalesced
+// transactions are flushed before anything observes engine state
+// (Result, Stats, Metrics, Warm, Subscribe, and any transaction
+// delivered to subscribers), and every actuation — batch re-chunking,
+// repartitioning, index demotion — happens strictly between backend
+// transactions. While changefeed subscribers are attached, transactions
+// are never coalesced at all, so each subscriber still observes exact
+// per-transaction deltas. A deferred transaction's backend error
+// surfaces on the call that triggers the flush (or the next Apply).
+func AutoTune(cfg ...TuneConfig) Option {
+	return func(c *engineConfig) {
+		c.autoTune = true
+		if len(cfg) > 0 {
+			c.tuneCfg = cfg[0]
+		}
+	}
+}
+
+// tuner is the per-serving adaptive controller loop: it owns the
+// pending (coalesced) transaction buffer and the three controllers.
+// All fields are guarded by serving.beMu.
+type tuner struct {
+	cfg  tune.Config
+	ctrl *tune.BatchController
+	skew *tune.SkewMonitor
+	pol  *tune.IndexPolicy
+
+	pendingOrder  []string // first-appended order of tables in pending
+	pending       map[string]*mring.Relation
+	pendingTuples int
+
+	lastWorker []time.Duration // previous WorkerTimings snapshot
+	sinceSweep int
+
+	coalesced, flushes, splits, repartitions int64
+
+	// err is a flush error raised on an observation path that cannot
+	// return it (Engine.Stats, Result); surfaced on the next Apply.
+	err error
+}
+
+func newTuner(cfg *engineConfig) *tuner {
+	if !cfg.autoTune {
+		return nil
+	}
+	tc := cfg.tuneCfg.internal()
+	return &tuner{
+		cfg:     tc,
+		ctrl:    tune.NewBatchController(tc),
+		skew:    tune.NewSkewMonitor(tc),
+		pol:     tune.NewIndexPolicy(tc),
+		pending: make(map[string]*mring.Relation),
+	}
+}
+
+// applyLocked processes one validated transaction under serving.beMu.
+// With subscribers attached (capture non-empty) it drains the pending
+// buffer and applies the transaction directly — subscribers get exact
+// per-transaction deltas, so coalescing is off. Without subscribers the
+// transaction is absorbed into the pending buffer, which drains in
+// target-sized folds whenever at least one full fold has accumulated.
+func (tn *tuner) applyLocked(s *serving, batches []compile.TableBatch, capture []string) (map[string]*mring.Relation, error) {
+	if len(capture) > 0 {
+		if err := tn.drainLocked(s, true); err != nil {
+			return nil, err
+		}
+		n := 0
+		for _, tb := range batches {
+			n += tb.Batch.Len()
+		}
+		start := tn.cfg.Now()
+		deltas, err := s.be.ApplyTx(batches, capture)
+		if err != nil {
+			return nil, err
+		}
+		tn.ctrl.Observe(n, tn.cfg.Now().Sub(start))
+		return deltas, tn.afterFoldLocked(s)
+	}
+	for _, tb := range batches {
+		if rel := tn.pending[tb.Table]; rel != nil {
+			rel.Merge(tb.Batch)
+		} else {
+			// The transaction owns its batches (see Tx.Put), so absorbing
+			// the relation itself is safe.
+			tn.pending[tb.Table] = tb.Batch
+			tn.pendingOrder = append(tn.pendingOrder, tb.Table)
+		}
+	}
+	tn.recountPending()
+	tn.coalesced++
+	return nil, tn.drainLocked(s, false)
+}
+
+// recountPending recomputes the pending tuple count (merging can cancel
+// tuples, so incremental counting would drift).
+func (tn *tuner) recountPending() {
+	n := 0
+	for _, rel := range tn.pending {
+		n += rel.Len()
+	}
+	tn.pendingTuples = n
+}
+
+// drainLocked applies the pending buffer in target-sized folds: every
+// complete fold is applied and timed, and the controller observes its
+// throughput. With all=false a final partial fold stays pending (to be
+// topped up by the next transaction); with all=true everything flushes.
+func (tn *tuner) drainLocked(s *serving, all bool) error {
+	for tn.pendingTuples > 0 {
+		target := tn.ctrl.Target()
+		if !all && tn.pendingTuples < target {
+			return nil
+		}
+		chunk, n := tn.takeChunk(target)
+		if n == 0 {
+			return nil
+		}
+		start := tn.cfg.Now()
+		if _, err := s.be.ApplyTx(chunk, nil); err != nil {
+			return err
+		}
+		tn.ctrl.Observe(n, tn.cfg.Now().Sub(start))
+		tn.flushes++
+		if err := tn.afterFoldLocked(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// takeChunk removes up to target tuples from the pending buffer, in
+// table order, splitting the last table's batch when it would overshoot.
+func (tn *tuner) takeChunk(target int) ([]compile.TableBatch, int) {
+	var out []compile.TableBatch
+	n := 0
+	for len(tn.pendingOrder) > 0 && n < target {
+		table := tn.pendingOrder[0]
+		rel := tn.pending[table]
+		if rel.Len() == 0 {
+			delete(tn.pending, table)
+			tn.pendingOrder = tn.pendingOrder[1:]
+			continue
+		}
+		if n+rel.Len() <= target {
+			out = append(out, compile.TableBatch{Table: table, Batch: rel})
+			n += rel.Len()
+			delete(tn.pending, table)
+			tn.pendingOrder = tn.pendingOrder[1:]
+			continue
+		}
+		take := target - n
+		part, rest := splitRelation(rel, take)
+		tn.pending[table] = rest
+		tn.splits++
+		out = append(out, compile.TableBatch{Table: table, Batch: part})
+		n += take
+		break
+	}
+	tn.pendingTuples -= n
+	return out, n
+}
+
+// splitRelation moves the first take tuples (in iteration order) of rel
+// into part, the rest into rest. Which tuples land in which fold does
+// not affect maintained results — folding is additive — only cost.
+func splitRelation(rel *mring.Relation, take int) (part, rest *mring.Relation) {
+	part = mring.NewRelation(rel.Schema())
+	rest = mring.NewRelation(rel.Schema())
+	i := 0
+	rel.Foreach(func(t mring.Tuple, m float64) {
+		if i < take {
+			part.Add(t, m)
+		} else {
+			rest.Add(t, m)
+		}
+		i++
+	})
+	return part, rest
+}
+
+// afterFoldLocked runs the between-transaction actuation: skew feedback
+// into repartitioning, and periodic index-admission sweeps.
+func (tn *tuner) afterFoldLocked(s *serving) error {
+	if wt := s.be.WorkerTimings(); len(wt) >= 2 {
+		cur := make([]time.Duration, len(wt))
+		for i, w := range wt {
+			cur[i] = w.Compute
+		}
+		delta := make([]time.Duration, len(cur))
+		for i := range cur {
+			delta[i] = cur[i]
+			if tn.lastWorker != nil && i < len(tn.lastWorker) {
+				delta[i] -= tn.lastWorker[i]
+			}
+		}
+		tn.lastWorker = cur
+		if tn.skew.Observe(delta) {
+			changed, err := s.be.Rebalance()
+			tn.skew.NoteRebalance(changed)
+			if err != nil {
+				return err
+			}
+			if changed {
+				tn.repartitions++
+			}
+		}
+	}
+	tn.sinceSweep++
+	if tn.sinceSweep >= tn.cfg.SweepEvery {
+		tn.sinceSweep = 0
+		s.be.ForEachRelation(func(_ string, r *mring.Relation) {
+			tn.pol.Sweep(r)
+		})
+	}
+	return nil
+}
+
+// takeErr returns and clears a deferred flush error.
+func (tn *tuner) takeErr() error {
+	err := tn.err
+	tn.err = nil
+	return err
+}
+
+func (tn *tuner) snapshot() TuningStats {
+	return TuningStats{
+		Enabled:      true,
+		BatchTarget:  tn.ctrl.Target(),
+		Settled:      tn.ctrl.Settled(),
+		Throughput:   tn.ctrl.Throughput(),
+		Imbalance:    tn.skew.Imbalance(),
+		Coalesced:    tn.coalesced,
+		Flushes:      tn.flushes,
+		Splits:       tn.splits,
+		Repartitions: tn.repartitions,
+		Demotions:    tn.pol.Demotions,
+		Readmissions: tn.pol.Readmissions,
+	}
+}
