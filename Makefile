@@ -23,7 +23,7 @@ BENCH_BASELINE_FLAG := $(if $(wildcard $(BENCH_BASELINE)),-baseline $(BENCH_BASE
 STATICCHECK := honnef.co/go/tools/cmd/staticcheck@2025.1.1
 STATICCHECK_STRICT ?= 0
 
-.PHONY: build test lint fuzz bench bench-json api check-api soak ci
+.PHONY: build test lint fuzz bench bench-json api check-api soak proc-smoke ci
 
 build:
 	$(GO) build ./...
@@ -44,11 +44,21 @@ lint:
 	fi
 
 # fuzz exercises the decode/hash attack surfaces for 30s each, same as
-# the CI fuzz job: the wire decoder must never panic on arbitrary bytes,
-# and the columnar hash kernels must agree with the row-wise hashes.
+# the CI fuzz job: the wire decoders (columnar, row payload, and the
+# transport frame layer) must never panic on arbitrary bytes, and the
+# columnar hash kernels must agree with the row-wise hashes.
 fuzz:
 	$(GO) test -run='^$$' -fuzz='^FuzzHashColsKeyEqual$$' -fuzztime=30s ./internal/mring
 	$(GO) test -run='^$$' -fuzz='^FuzzColBatchDecode$$' -fuzztime=30s ./internal/pool
+	$(GO) test -run='^$$' -fuzz='^FuzzFrameDecode$$' -fuzztime=30s ./internal/net
+
+# proc-smoke runs the process-cluster smoke gate: builds the real worker
+# binary, spawns 4 worker processes plus a driver on localhost, and
+# asserts the result is bitwise-equal to the in-process simulated
+# cluster at the same worker count (same step as the CI job).
+proc-smoke:
+	$(GO) build -o bin/ivmworker ./cmd/ivmworker
+	IVM_WORKER_BIN=$(CURDIR)/bin/ivmworker $(GO) test -race -run '^TestProcessClusterSmoke$$' -v .
 
 bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x . ./internal/bench/

@@ -33,6 +33,7 @@ import (
 	"repro/internal/eval"
 	"repro/internal/expr"
 	"repro/internal/mring"
+	inet "repro/internal/net"
 	"repro/internal/pool"
 	"repro/internal/tpch"
 )
@@ -823,6 +824,66 @@ func benchLocalStream(name string, sf float64, batch int) (Result, error) {
 	}, nil
 }
 
+// benchNetShuffle drives the same deployment pipeline as
+// benchDistributed through the process cluster: worker servers on
+// loopback TCP, every install/run/fetch crossing real sockets through
+// the framed transport. The tuples/sec entry tracks the wire overhead
+// of the process deployment; ShuffledBytes counts actual payload bytes
+// shipped.
+func benchNetShuffle(name string, sf float64, workers, batch int) (Result, error) {
+	q, err := tpch.QueryByName(name)
+	if err != nil {
+		return Result{}, err
+	}
+	prog, err := compile.Compile(q.Name, q.Def, q.BaseSchemas(), compile.DefaultOptions())
+	if err != nil {
+		return Result{}, err
+	}
+	parts := dist.ChoosePartitioning(prog, tpch.PrimaryKeyRanks)
+	dprogs := dist.CompileProgram(prog, parts, dist.O3)
+	addrs := make([]string, workers)
+	for i := range addrs {
+		srv, err := cluster.ListenAndServeWorker(inet.TCP{}, "127.0.0.1:0")
+		if err != nil {
+			return Result{}, err
+		}
+		defer srv.Close()
+		addrs[i] = srv.Addr()
+	}
+	pc, err := cluster.Connect(inet.TCP{}, addrs, dist.ViewSchemas(prog), parts)
+	if err != nil {
+		return Result{}, err
+	}
+	defer pc.Close()
+	gen := tpch.NewGenerator(sf, 1)
+	stream := tpch.NewStream(gen, q.Tables)
+	tuples := 0
+	var shuffled int64
+	start := time.Now()
+	for {
+		bs := stream.NextBatches(batch)
+		if len(bs) == 0 {
+			break
+		}
+		for _, b := range bs {
+			m, err := pc.RunPartitionedBatch(dprogs[b.Table], b.Rel)
+			if err != nil {
+				return Result{}, err
+			}
+			shuffled += m.ShuffledBytes
+			tuples += b.Rel.Len()
+		}
+	}
+	return Result{
+		Name:          fmt.Sprintf("NetShuffle/%s/w=%d/bs=%d", name, workers, batch),
+		Query:         name,
+		BatchSize:     batch,
+		Workers:       workers,
+		TuplesPerSec:  float64(tuples) / time.Since(start).Seconds(),
+		ShuffledBytes: shuffled,
+	}, nil
+}
+
 func benchDistributed(name string, sf float64, workers, batch int) (Result, error) {
 	q, err := tpch.QueryByName(name)
 	if err != nil {
@@ -968,6 +1029,14 @@ func main() {
 	}
 	fmt.Printf("%s: %.0f tuples/sec, %d shuffled bytes\n", r.Name, r.TuplesPerSec, r.ShuffledBytes)
 	rep.Results = append(rep.Results, r)
+
+	ns, err := benchNetShuffle("Q3", *sf, 4, 4000)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s: %.0f tuples/sec, %d shuffled bytes\n", ns.Name, ns.TuplesPerSec, ns.ShuffledBytes)
+	rep.Results = append(rep.Results, ns)
 
 	b, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

@@ -1,0 +1,30 @@
+// Command ivmworker runs one process-cluster worker: it listens for a
+// driver connection on the framed TCP transport and serves the cluster
+// protocol until killed. Drivers connect with ivm.Remote(addrs...).
+//
+// The chosen listen address is printed to stdout as "LISTEN <addr>" so
+// harnesses can start workers on port 0 and read the ports back.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cluster"
+	inet "repro/internal/net"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:0", "address to listen on (port 0 picks a free port)")
+	flag.Parse()
+
+	srv, err := cluster.ListenAndServeWorker(inet.TCP{}, *listen)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ivmworker: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("LISTEN %s\n", srv.Addr())
+	os.Stdout.Sync()
+	select {} // serve until killed
+}

@@ -1,6 +1,7 @@
 package ivm
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -12,7 +13,12 @@ import (
 	"repro/internal/eval"
 	"repro/internal/expr"
 	"repro/internal/mring"
+	inet "repro/internal/net"
 )
+
+// ErrClosed is returned (wrapped, with context) by Apply, Warm, and
+// Subscribe on an engine or registry that was Closed.
+var ErrClosed = errors.New("ivm: engine is closed")
 
 // Metrics reports the virtual platform cost of distributed processing
 // (latency, compute, shuffled bytes, stage/job counts). Engines on the
@@ -23,6 +29,8 @@ type Metrics = cluster.Metrics
 type engineConfig struct {
 	distributed bool
 	workers     int
+	remote      bool
+	remoteAddrs []string
 	keyRanks    map[string]int
 	copts       compile.Options
 	singleTuple bool
@@ -41,6 +49,23 @@ func Distributed(workers int) Option {
 	return func(c *engineConfig) {
 		c.distributed = true
 		c.workers = workers
+	}
+}
+
+// Remote deploys the engine on a process cluster: one worker process
+// (cmd/ivmworker) per address, reached over the length-prefixed framed
+// TCP transport of internal/net. Everything else — partitioning,
+// compiled distributed trigger programs, transactions, AutoTune, the
+// keyed changefeed — works exactly as with Distributed, and results are
+// bitwise-identical to the in-process cluster at the same worker count.
+// A worker lost mid-transaction fails that transaction atomically: the
+// engine reports the error, keeps serving the pre-transaction results,
+// and rejects further transactions (reconnect by building a new engine
+// and warm-starting it). Incompatible with Distributed and SingleTuple.
+func Remote(addrs ...string) Option {
+	return func(c *engineConfig) {
+		c.remote = true
+		c.remoteAddrs = addrs
 	}
 }
 
@@ -72,14 +97,29 @@ func (cfg *engineConfig) validate() error {
 	if cfg.distributed && cfg.singleTuple {
 		return fmt.Errorf("ivm: SingleTuple is a local execution mode; drop it or drop Distributed")
 	}
+	if cfg.remote {
+		if cfg.distributed {
+			return fmt.Errorf("ivm: Remote and Distributed are exclusive backends; pick one")
+		}
+		if cfg.singleTuple {
+			return fmt.Errorf("ivm: SingleTuple is a local execution mode; drop it or drop Remote")
+		}
+		if len(cfg.remoteAddrs) == 0 {
+			return fmt.Errorf("ivm: Remote needs at least one worker address")
+		}
+	}
 	return nil
 }
 
-func (cfg *engineConfig) backend(prog *compile.Program) backend {
-	if cfg.distributed {
-		return newDistBackend(prog, cfg.workers, cfg.keyRanks)
+func (cfg *engineConfig) backend(prog *compile.Program) (backend, error) {
+	switch {
+	case cfg.remote:
+		return newRemoteBackend(prog, cfg.remoteAddrs, cfg.keyRanks)
+	case cfg.distributed:
+		return newDistBackend(prog, cfg.workers, cfg.keyRanks), nil
+	default:
+		return newLocalBackend(prog, cfg.singleTuple), nil
 	}
-	return newLocalBackend(prog, cfg.singleTuple)
 }
 
 // backend is the execution plane behind an Engine or Registry: the
@@ -122,6 +162,9 @@ type backend interface {
 	// (false, nil) on the local backend. Must only run between
 	// transactions.
 	Rebalance() (bool, error)
+	// Close releases backend resources (worker connections on the
+	// process cluster). Reads may still be served afterwards.
+	Close() error
 }
 
 // serving is the shared front half of Engine and Registry: transaction
@@ -140,6 +183,11 @@ type serving struct {
 	// tn is the self-tuning controller loop (nil without AutoTune).
 	// Guarded by beMu.
 	tn *tuner
+
+	// closed is set by Close; write paths (Apply, Warm, Subscribe)
+	// reject with ErrClosed afterwards, read paths keep serving the
+	// final state. Guarded by beMu.
+	closed bool
 
 	mu    sync.Mutex
 	next  int
@@ -204,8 +252,12 @@ func New(name string, query Expr, bases map[string]Schema, opts ...Option) (*Eng
 	if err != nil {
 		return nil, err
 	}
+	be, err := cfg.backend(prog)
+	if err != nil {
+		return nil, err
+	}
 	e := &Engine{name: name}
-	e.init(prog, cfg.backend(prog), newTuner(&cfg))
+	e.init(prog, be, newTuner(&cfg))
 	return e, nil
 }
 
@@ -214,7 +266,51 @@ func (s *serving) init(prog *compile.Program, be backend, tn *tuner) {
 	s.be = be
 	s.tn = tn
 	s.feeds = make(map[string]*feed)
+	if tn != nil {
+		tn.startLoop(s)
+	}
 }
+
+// close shuts the serving half down: the tuner's idle-flush loop stops,
+// the pending coalesce buffer drains (no accepted transaction is
+// dropped), and the backend releases its resources. Idempotent; write
+// paths return ErrClosed afterwards, reads keep serving the final state.
+func (s *serving) close() error {
+	s.beMu.Lock()
+	if s.closed {
+		s.beMu.Unlock()
+		return nil
+	}
+	var err error
+	if s.tn != nil {
+		err = s.tn.takeErr()
+		if derr := s.tn.drainLocked(s, true); err == nil {
+			err = derr
+		}
+	}
+	s.closed = true
+	if s.be != nil {
+		if cerr := s.be.Close(); err == nil {
+			err = cerr
+		}
+	}
+	tn := s.tn
+	s.beMu.Unlock()
+	// Stop the loop without beMu held: the loop goroutine takes beMu on
+	// every tick, so joining it under the lock would deadlock.
+	if tn != nil {
+		tn.stopLoop()
+	}
+	return err
+}
+
+// Close shuts the engine down: the AutoTune controller loop (if any)
+// stops, coalesced transactions flush, and the backend releases its
+// resources — on a Remote engine the worker connections close. After
+// Close, Apply/Warm/Subscribe return ErrClosed while Result, Stats, and
+// Metrics keep serving the final state. Close is idempotent; it returns
+// the first error from the final flush or the backend teardown.
+func (e *Engine) Close() error { return e.close() }
 
 // Program returns the compiled maintenance program (its String method
 // renders the view hierarchy and triggers).
@@ -374,6 +470,10 @@ func (s *serving) applyTx(tx *Tx) error {
 		batches = append(batches, compile.TableBatch{Table: table, Batch: b.rel})
 	}
 	s.beMu.Lock()
+	if s.closed {
+		s.beMu.Unlock()
+		return fmt.Errorf("ivm: Apply: %w", ErrClosed)
+	}
 	if s.tn != nil {
 		if err := s.tn.takeErr(); err != nil {
 			s.beMu.Unlock()
@@ -457,6 +557,10 @@ func (s *serving) warm(tables map[string]*Batch) error {
 		}
 	}
 	s.beMu.Lock()
+	if s.closed {
+		s.beMu.Unlock()
+		return fmt.Errorf("ivm: Warm: %w", ErrClosed)
+	}
 	if s.tn != nil {
 		if err := s.tn.drainLocked(s, true); err != nil {
 			s.beMu.Unlock()
@@ -532,15 +636,16 @@ func OnKey(key ...Value) SubOption {
 // the subscription; when the last subscriber is gone the engine
 // immediately returns to zero capture overhead. Capture is active only
 // while at least one subscriber is attached, so subscribe before
-// applying the transactions the feed should cover. Subscribe panics on
-// an OnKey key longer than the result schema; Registry.Subscribe
-// reports the same misuse as an error.
-func (e *Engine) Subscribe(fn func(Delta), opts ...SubOption) (cancel func()) {
-	cancel, err := e.subscribe(e.prog.QueryName, fn, opts...)
-	if err != nil {
+// applying the transactions the feed should cover. Subscribe returns an
+// error wrapping ErrClosed on a closed engine; it panics on an OnKey
+// key longer than the result schema (a programming error —
+// Registry.Subscribe reports the same misuse as an error).
+func (e *Engine) Subscribe(fn func(Delta), opts ...SubOption) (cancel func(), err error) {
+	cancel, err = e.subscribe(e.prog.QueryName, fn, opts...)
+	if err != nil && !errors.Is(err, ErrClosed) {
 		panic(err)
 	}
-	return cancel
+	return cancel, err
 }
 
 func (s *serving) subscribe(view string, fn func(Delta), opts ...SubOption) (func(), error) {
@@ -559,6 +664,9 @@ func (s *serving) subscribe(view string, fn func(Delta), opts ...SubOption) (fun
 	// individually (coalescing turns off while subscribers exist).
 	s.beMu.Lock()
 	defer s.beMu.Unlock()
+	if s.closed {
+		return nil, fmt.Errorf("ivm: Subscribe: %w", ErrClosed)
+	}
 	s.flushObservationLocked()
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -781,15 +889,50 @@ func (lb *localBackend) ForEachRelation(f func(name string, r *mring.Relation)) 
 
 func (lb *localBackend) Rebalance() (bool, error) { return false, nil }
 
-// distBackend runs the compiled program on the simulated synchronous
-// cluster: views are partitioned by the paper's heuristic and batches
-// are processed through compiled distributed trigger programs.
+func (lb *localBackend) Close() error { return nil }
+
+// clusterRuntime is the cluster seam distBackend drives. The simulated
+// in-process cluster and the process cluster over a real transport
+// implement the same surface, so one backend serves both deployments.
+type clusterRuntime interface {
+	Workers() int
+	RunPartitionedBatch(prog *dist.DistProgram, batch *mring.Relation) (cluster.Metrics, error)
+	WarmViews(contents map[string]*mring.Relation) error
+	ViewContents(name string) *mring.Relation
+	WatchView(name string)
+	UnwatchView(name string)
+	TakeWatchDelta(name string) *mring.Relation
+	EvalStats() eval.Stats
+	WorkerTimings() []cluster.WorkerTiming
+	ForEachRelation(f func(name string, r *mring.Relation))
+	Close() error
+}
+
+// repartitioner is the optional in-place rebalance surface: only the
+// simulated cluster can move state between its workers directly; the
+// process cluster does not implement it, so Rebalance is a no-op there.
+type repartitioner interface {
+	Repartition(parts dist.PartInfo, contents map[string]*mring.Relation, keep map[string]bool) error
+}
+
+// deltaNoter lets a runtime fold committed per-batch deltas into its
+// last-committed read cache (the process cluster's poisoned-read
+// fallback).
+type deltaNoter interface {
+	NoteDelta(name string, delta *mring.Relation)
+}
+
+// distBackend runs the compiled program on a cluster runtime: the
+// simulated synchronous cluster (Distributed) or the process cluster
+// over sockets (Remote). Views are partitioned by the paper's heuristic
+// and batches are processed through compiled distributed trigger
+// programs either way.
 type distBackend struct {
 	prog     *compile.Program
 	parts    dist.PartInfo
 	keyRanks map[string]int
 	dprogs   map[string]*dist.DistProgram
-	cl       *cluster.Cluster
+	cl       clusterRuntime
 	total    Metrics
 	last     Metrics
 	// watching mirrors the cluster's watch set (a view is in it only
@@ -802,6 +945,20 @@ func newDistBackend(prog *compile.Program, workers int, keyRanks map[string]int)
 	dprogs := dist.CompileProgram(prog, parts, dist.O3)
 	cl := cluster.New(cluster.DefaultConfig(workers), dist.ViewSchemas(prog), parts)
 	return &distBackend{prog: prog, parts: parts, keyRanks: keyRanks, dprogs: dprogs, cl: cl, watching: make(map[string]bool)}
+}
+
+// newRemoteBackend connects the same distributed backend to worker
+// processes: identical partitioning choice and compiled programs, with
+// the process cluster as the runtime, so results are bitwise-equal to
+// the simulated deployment at the same worker count.
+func newRemoteBackend(prog *compile.Program, addrs []string, keyRanks map[string]int) (*distBackend, error) {
+	parts := dist.ChoosePartitioning(prog, keyRanks)
+	dprogs := dist.CompileProgram(prog, parts, dist.O3)
+	pc, err := cluster.Connect(inet.TCP{}, addrs, dist.ViewSchemas(prog), parts)
+	if err != nil {
+		return nil, err
+	}
+	return &distBackend{prog: prog, parts: parts, keyRanks: keyRanks, dprogs: dprogs, cl: pc, watching: make(map[string]bool)}, nil
 }
 
 // setCapture reconciles the cluster's watch set with the views that
@@ -834,19 +991,9 @@ func (db *distBackend) ApplyTx(tx []compile.TableBatch, capture []string) (map[s
 		if dp == nil {
 			return nil, fmt.Errorf("ivm: no distributed trigger for table %q", tb.Table)
 		}
-		// Workers ingest stream fragments directly (Sec. 6.2): the batch
-		// spreads round-robin over the workers.
-		workers := db.cl.Workers()
-		frags := make([]*mring.Relation, workers)
-		for i := range frags {
-			frags[i] = mring.NewRelation(tb.Batch.Schema())
-		}
-		i := 0
-		tb.Batch.Foreach(func(t mring.Tuple, m float64) {
-			frags[i%workers].Add(t, m)
-			i++
-		})
-		m, err := db.cl.RunPartitioned(dp, frags)
+		// Workers ingest stream fragments directly (Sec. 6.2): the runtime
+		// spreads the batch round-robin over the workers.
+		m, err := db.cl.RunPartitionedBatch(dp, tb.Batch)
 		if err != nil {
 			// Discard whatever the failed transaction captured so the
 			// next delivered delta is not polluted by its prefix.
@@ -863,8 +1010,15 @@ func (db *distBackend) ApplyTx(tx []compile.TableBatch, capture []string) (map[s
 		return nil, nil
 	}
 	out := make(map[string]*mring.Relation, len(capture))
+	nd, noting := db.cl.(deltaNoter)
 	for _, v := range capture {
-		out[v] = db.cl.TakeWatchDelta(v)
+		d := db.cl.TakeWatchDelta(v)
+		out[v] = d
+		if noting && d != nil {
+			// Keep the runtime's last-committed read cache current so a
+			// later failure can freeze reads at this commit.
+			nd.NoteDelta(v, d)
+		}
 	}
 	return out, nil
 }
@@ -904,7 +1058,9 @@ func (db *distBackend) StopCapture(view string) {
 	}
 }
 
-func (db *distBackend) Stats() eval.Stats { return db.cl.Stats }
+func (db *distBackend) Stats() eval.Stats { return db.cl.EvalStats() }
+
+func (db *distBackend) Close() error { return db.cl.Close() }
 
 func (db *distBackend) TriggerProgram(table string) string {
 	dp := db.dprogs[table]
@@ -979,6 +1135,12 @@ func (db *distBackend) measureSkew() map[string]float64 {
 // and the distributed trigger programs recompile against the new
 // placement.
 func (db *distBackend) Rebalance() (bool, error) {
+	rp, ok := db.cl.(repartitioner)
+	if !ok {
+		// The process cluster cannot move state between live workers;
+		// skew feedback stays a no-op there (DESIGN.md §11).
+		return false, nil
+	}
 	weights := db.measureSkew()
 	if len(weights) == 0 {
 		return false, nil
@@ -996,7 +1158,7 @@ func (db *distBackend) Rebalance() (bool, error) {
 			moved[v.Name] = db.cl.ViewContents(v.Name)
 		}
 	})
-	if err := db.cl.Repartition(parts, moved, keep); err != nil {
+	if err := rp.Repartition(parts, moved, keep); err != nil {
 		return false, err
 	}
 	db.parts = parts

@@ -35,7 +35,7 @@ func main() {
 	// The subscriber sees every transaction's result delta; replaying
 	// the stream into an empty map reconstructs the result exactly.
 	replay := map[string]float64{}
-	cancel := eng.Subscribe(func(d ivm.Delta) {
+	cancel, _ := eng.Subscribe(func(d ivm.Delta) {
 		fmt.Printf("tx %d changed %d group(s):\n", d.Seq, d.Len())
 		d.Foreach(func(group ivm.Tuple, change float64) {
 			fmt.Printf("  product %v: %+g\n", group[0], change)

@@ -5,14 +5,18 @@ import (
 	"time"
 
 	"repro/internal/mring"
-	"repro/internal/pool"
+	inet "repro/internal/net"
 )
 
 // Checkpoint is a serialized snapshot of the cluster's materialized state
 // (Sec. 4: "Using data checkpointing, we can periodically save
 // intermediate state to reliable storage (HDFS) in order to shorten
 // recovery time"). The snapshot stores every node's relation fragments
-// in the columnar wire format; its size approximates the HDFS write.
+// in the lossless wire payload format (columnar when a relation's
+// columns are kind-pure, tagged rows otherwise — the earlier
+// columnar-only encoding silently dropped mixed-kind columns, so a
+// restore of such a view produced garbage); its size approximates the
+// HDFS write.
 type Checkpoint struct {
 	// Workers holds, per worker, the encoded fragments by name.
 	Workers []map[string][]byte
@@ -49,7 +53,7 @@ func (c *Cluster) Checkpoint() *Checkpoint {
 			if r == nil || r.Len() == 0 {
 				continue
 			}
-			b := pool.EncodeRelation(r)
+			b := inet.EncodeRelationPlain(r)
 			out[name] = b
 			cp.Bytes += int64(len(b))
 		}
@@ -71,14 +75,19 @@ func (c *Cluster) Restore(cp *Checkpoint) error {
 		return fmt.Errorf("cluster: checkpoint has %d workers, cluster has %d",
 			len(cp.Workers), len(c.workers))
 	}
+	// Checkpoints may come from unreliable storage, so decoding goes
+	// through the bounds-guarded payload decoder: a corrupt or hostile
+	// snapshot returns an error here, it never panics mid-restore.
 	decode := func(enc map[string][]byte) (map[string]*mring.Relation, error) {
 		out := map[string]*mring.Relation{}
 		for name, b := range enc {
-			cb, err := pool.Decode(b)
+			p, err := inet.DecodePayload(b)
 			if err != nil {
 				return nil, fmt.Errorf("cluster: corrupt checkpoint for %q: %w", name, err)
 			}
-			out[name] = cb.ToRelation()
+			r := mring.NewRelation(p.Schema)
+			p.Foreach(r.Add)
+			out[name] = r
 		}
 		return out, nil
 	}

@@ -185,6 +185,33 @@ func New(cfg Config, schemas map[string]mring.Schema, parts dist.PartInfo) *Clus
 // Workers returns the configured worker count.
 func (c *Cluster) Workers() int { return c.cfg.Workers }
 
+// EvalStats returns the evaluation statistics accumulated across all
+// nodes and batches (the Stats field behind a method, so the simulated
+// and process clusters expose the counters uniformly).
+func (c *Cluster) EvalStats() eval.Stats { return c.Stats }
+
+// Close releases the cluster's resources. The simulated cluster holds
+// none; the method exists so every cluster runtime closes uniformly.
+func (c *Cluster) Close() error { return nil }
+
+// RunPartitionedBatch deals a driver-resident batch round-robin over the
+// workers and processes it as RunPartitioned. The split happens here, in
+// the runtime, because the process cluster must serialize each fragment
+// in deal order — splitting before the runtime boundary would force the
+// caller to know the wire format.
+func (c *Cluster) RunPartitionedBatch(prog *dist.DistProgram, batch *mring.Relation) (Metrics, error) {
+	frags := make([]*mring.Relation, len(c.workers))
+	for i := range frags {
+		frags[i] = mring.NewRelation(batch.Schema())
+	}
+	i := 0
+	batch.Foreach(func(t mring.Tuple, m float64) {
+		frags[i%len(frags)].Add(t, m)
+		i++
+	})
+	return c.RunPartitioned(prog, frags)
+}
+
 // WorkerTimings returns each worker's accumulated distributed-stage
 // compute since the cluster started, in worker-index order. Callers
 // diff consecutive snapshots to get per-transaction skew.
@@ -344,11 +371,15 @@ func (c *Cluster) WarmViews(contents map[string]*mring.Relation) error {
 // partitioning key when unknown (temp views register lazily on first
 // write).
 func (c *Cluster) schemaOf(name string, fallback mring.Schema) mring.Schema {
-	if s, ok := c.schemas[name]; ok {
+	return schemaOfIn(c.schemas, name, fallback)
+}
+
+func schemaOfIn(schemas map[string]mring.Schema, name string, fallback mring.Schema) mring.Schema {
+	if s, ok := schemas[name]; ok {
 		return s
 	}
-	c.schemas[name] = fallback.Clone()
-	return c.schemas[name]
+	schemas[name] = fallback.Clone()
+	return schemas[name]
 }
 
 // partIndex returns the worker index owning a tuple under the key columns
@@ -414,20 +445,28 @@ func (c *Cluster) runBlocks(prog *dist.DistProgram) (Metrics, error) {
 // then only read c.schemas; all lazy registration happens here, on the
 // driver thread.
 func (c *Cluster) prepareStmts(stmts []dist.Stmt) {
+	prepareStmtsIn(c.schemas, stmts)
+}
+
+// prepareStmtsIn is prepareStmts over an explicit schema map — shared by
+// the simulated cluster and the process-cluster driver, which must run
+// the identical lazy registration sequence for its shards to agree on
+// schemas.
+func prepareStmtsIn(schemas map[string]mring.Schema, stmts []dist.Stmt) {
 	for _, s := range stmts {
 		walkRefs(s.RHS, func(r *expr.Rel) {
 			name := eval.RelEnvName(r)
-			if _, ok := c.schemas[name]; !ok {
-				c.schemas[name] = r.Cols.Clone()
+			if _, ok := schemas[name]; !ok {
+				schemas[name] = r.Cols.Clone()
 			}
 		})
 		if x, ok := s.RHS.(*dist.Xform); ok {
 			if src, ok := x.Body.(*expr.Rel); ok {
-				c.schemaOf(s.LHS, c.schemaOf(eval.RelEnvName(src), src.Cols))
+				schemaOfIn(schemas, s.LHS, schemaOfIn(schemas, eval.RelEnvName(src), src.Cols))
 			}
 			continue
 		}
-		c.schemaOf(s.LHS, s.RHS.Schema())
+		schemaOfIn(schemas, s.LHS, s.RHS.Schema())
 	}
 }
 
@@ -582,13 +621,20 @@ func (c *Cluster) computeTime(ops int64, measured time.Duration) time.Duration {
 // the node's own fragments (and the caller-private sink), so concurrent
 // calls on distinct nodes are race-free.
 func (c *Cluster) runStmtOn(n *node, s dist.Stmt, sink *mring.Relation) eval.Stats {
+	return runStmtOnNode(n, c.schemas, s, sink)
+}
+
+// runStmtOnNode is runStmtOn over explicit node and schema state — the
+// same evaluation a process-cluster shard runs remotely, so both cluster
+// forms mutate fragments through one code path.
+func runStmtOnNode(n *node, schemas map[string]mring.Schema, s dist.Stmt, sink *mring.Relation) eval.Stats {
 	env := eval.NewEnv()
 	// Bind every relation the statement reads; lazily create fragments.
 	walkRefs(s.RHS, func(r *expr.Rel) {
 		name := eval.RelEnvName(r)
-		env.Bind(name, n.rel(name, c.schemas[name]))
+		env.Bind(name, n.rel(name, schemas[name]))
 	})
-	target := n.rel(s.LHS, c.schemas[s.LHS])
+	target := n.rel(s.LHS, schemas[s.LHS])
 	ctx := eval.NewCtx(env)
 	if sink != nil {
 		ctx.CaptureFolds(target, sink)

@@ -1,0 +1,672 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/eval"
+	"repro/internal/expr"
+	"repro/internal/mring"
+	inet "repro/internal/net"
+)
+
+// ProcCluster is the process cluster: the driver side of a deployment
+// whose workers live in other processes behind a framed transport. It
+// mirrors the simulated Cluster operation for operation — same driver
+// state, same schema registration sequence, same worker-index merge
+// order, and worker mutations replayed over the wire in the exact order
+// the simulator applies them in-process — so results are bitwise-equal
+// to the simulator at any worker count.
+//
+// Failure semantics: the first transport or worker error poisons the
+// cluster (worker state may have partially advanced and cannot be
+// trusted); every later operation returns the poisoning error, and
+// ViewContents serves the last contents observed before the failure, so
+// a mid-transaction disconnect leaves results at the pre-transaction
+// state.
+type ProcCluster struct {
+	conns   []inet.Conn
+	driver  *node
+	schemas map[string]mring.Schema
+	parts   dist.PartInfo
+	watch   map[string]*mring.Relation
+	stats   eval.Stats
+
+	workerCompute []time.Duration
+	workerStages  []int
+
+	// err is the poison: set by the first failed operation, returned by
+	// every operation after it.
+	err error
+	// committed caches each view's last healthily-observed contents, the
+	// read path once the cluster is poisoned.
+	committed map[string]*mring.Relation
+}
+
+// Connect dials the worker processes at addrs over tr and assigns each
+// its index. The schemas map is shared with the caller and mutated by
+// lazy registration, exactly like the simulated cluster's.
+func Connect(tr inet.Transport, addrs []string, schemas map[string]mring.Schema, parts dist.PartInfo) (*ProcCluster, error) {
+	if len(addrs) == 0 {
+		return nil, errors.New("cluster: no worker addresses")
+	}
+	pc := &ProcCluster{
+		driver:        newNode(),
+		schemas:       schemas,
+		parts:         parts,
+		workerCompute: make([]time.Duration, len(addrs)),
+		workerStages:  make([]int, len(addrs)),
+		committed:     make(map[string]*mring.Relation),
+	}
+	for _, a := range addrs {
+		c, err := tr.Dial(a)
+		if err != nil {
+			pc.Close()
+			return nil, fmt.Errorf("cluster: dial worker %s: %w", a, err)
+		}
+		pc.conns = append(pc.conns, c)
+	}
+	if err := pc.fanout(func(i int, c inet.Conn) error {
+		return call(c, opSetup, &setupReq{Index: i, Workers: len(pc.conns)}, &setupResp{})
+	}); err != nil {
+		pc.Close()
+		return nil, fmt.Errorf("cluster: worker setup: %w", err)
+	}
+	return pc, nil
+}
+
+// Workers returns the worker count.
+func (pc *ProcCluster) Workers() int { return len(pc.conns) }
+
+// EvalStats returns the evaluation statistics accumulated across the
+// driver and (as reported per stage) all workers.
+func (pc *ProcCluster) EvalStats() eval.Stats { return pc.stats }
+
+// WorkerTimings returns each worker's accumulated distributed-stage
+// compute, measured on the worker itself.
+func (pc *ProcCluster) WorkerTimings() []WorkerTiming {
+	out := make([]WorkerTiming, len(pc.conns))
+	for i := range out {
+		out[i] = WorkerTiming{Worker: i, Compute: pc.workerCompute[i], Stages: pc.workerStages[i]}
+	}
+	return out
+}
+
+// ForEachRelation visits the driver-resident fragments only (names
+// sorted): worker fragments live in other processes, so per-fragment
+// sweeps (index admission) cover just the driver side of a process
+// cluster. DESIGN.md §11 records the limitation.
+func (pc *ProcCluster) ForEachRelation(f func(name string, r *mring.Relation)) {
+	names := make([]string, 0, len(pc.driver.rels))
+	for name := range pc.driver.rels {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f(name, pc.driver.rels[name])
+	}
+}
+
+// Close severs every worker connection and poisons the cluster. Safe to
+// call more than once.
+func (pc *ProcCluster) Close() error {
+	var first error
+	for _, c := range pc.conns {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if pc.err == nil {
+		pc.err = errors.New("cluster: process cluster closed")
+	}
+	return first
+}
+
+// fail poisons the cluster with the first error and returns the poison.
+func (pc *ProcCluster) fail(err error) error {
+	if pc.err == nil {
+		pc.err = fmt.Errorf("cluster: process cluster failed, results frozen at last commit: %w", err)
+	}
+	return pc.err
+}
+
+// fanout runs f for every worker concurrently, waits for all, and
+// returns the lowest-index error. Responses land in caller-provided
+// per-index slots, so the caller then processes them in worker-index
+// order — the merge-determinism invariant.
+func (pc *ProcCluster) fanout(f func(i int, c inet.Conn) error) error {
+	errs := make([]error, len(pc.conns))
+	var wg sync.WaitGroup
+	wg.Add(len(pc.conns))
+	for i, c := range pc.conns {
+		go func(i int, c inet.Conn) {
+			defer wg.Done()
+			errs[i] = f(i, c)
+		}(i, c)
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}
+
+// WatchView, UnwatchView, TakeWatchDelta: identical capture surface to
+// the simulated cluster (the accumulators live on the driver either way).
+
+// WatchView starts capturing maintenance writes to the named view.
+func (pc *ProcCluster) WatchView(name string) {
+	s, ok := pc.schemas[name]
+	if !ok {
+		panic(fmt.Sprintf("cluster: cannot watch unknown view %q", name))
+	}
+	if pc.watch == nil {
+		pc.watch = make(map[string]*mring.Relation, 1)
+	}
+	if pc.watch[name] == nil {
+		pc.watch[name] = mring.NewRelation(s)
+	}
+}
+
+// UnwatchView stops delta capture for one view.
+func (pc *ProcCluster) UnwatchView(name string) {
+	delete(pc.watch, name)
+}
+
+// TakeWatchDelta returns and resets the named view's accumulated delta.
+func (pc *ProcCluster) TakeWatchDelta(name string) *mring.Relation {
+	d := pc.watch[name]
+	if d != nil {
+		pc.watch[name] = mring.NewRelation(pc.schemas[name])
+	}
+	return d
+}
+
+// NoteDelta folds a committed per-batch delta into the cached contents
+// of a view, keeping the poisoned-read fallback current without a full
+// re-read per transaction.
+func (pc *ProcCluster) NoteDelta(name string, delta *mring.Relation) {
+	if pc.err != nil || delta == nil {
+		return
+	}
+	if r := pc.committed[name]; r != nil {
+		r.Merge(delta)
+	}
+}
+
+func (pc *ProcCluster) watchDriverSide(name string) bool {
+	loc, ok := pc.parts[name]
+	return !ok || loc.Kind != dist.LDist
+}
+
+func (pc *ProcCluster) driverSinkFor(lhs string) *mring.Relation {
+	d := pc.watch[lhs]
+	if d == nil || !pc.watchDriverSide(lhs) {
+		return nil
+	}
+	return d
+}
+
+func (pc *ProcCluster) captureReplace(name string, old, cur *mring.Relation) {
+	d := pc.watch[name]
+	d.Merge(cur)
+	d.MergeScaled(old, -1)
+}
+
+// replayCapture folds one worker's replacement diff into the watched
+// view's accumulator — the wire form of captureReplace, in the same
+// order: current contents in, old contents out.
+func (pc *ProcCluster) replayCapture(name string, r *installResp) error {
+	d := pc.watch[name]
+	if err := replayInto(d, r.Cur, 1); err != nil {
+		return err
+	}
+	return replayInto(d, r.Old, -1)
+}
+
+// replayInto adds a payload's rows into dst in wire order, scaled.
+func replayInto(dst *mring.Relation, payload []byte, scale float64) error {
+	if len(payload) == 0 {
+		return nil
+	}
+	p, err := inet.DecodePayload(payload)
+	if err != nil {
+		return err
+	}
+	p.Foreach(func(t mring.Tuple, m float64) { dst.Add(t, m*scale) })
+	return nil
+}
+
+// WarmViews installs initial view contents by canonical location, like
+// the simulated cluster: driver copy for local views, key-partitioned
+// fragments for distributed views, a replica per worker plus the driver
+// mirror for replicated views. Remote installs rebuild each fragment
+// from its rows in Foreach order, which reproduces the exact relation
+// layout the in-process cluster hands over by reference.
+func (pc *ProcCluster) WarmViews(contents map[string]*mring.Relation) error {
+	if pc.err != nil {
+		return pc.err
+	}
+	for name, rel := range contents {
+		if rel == nil {
+			continue
+		}
+		schema := schemaOfIn(pc.schemas, name, rel.Schema())
+		loc := pc.parts[name]
+		switch {
+		case loc.Kind == dist.LLocal:
+			pc.driver.rels[name] = rel
+		case loc.Kind == dist.LIndiff:
+			pc.driver.rels[name] = rel
+			payload := inet.EncodeRelationPlain(rel)
+			if err := pc.fanout(func(i int, c inet.Conn) error {
+				return call(c, opInstallDelta, &installDeltaReq{Name: name, Schema: schema, Payload: payload}, &installDeltaResp{})
+			}); err != nil {
+				return pc.fail(err)
+			}
+		case loc.Keyed():
+			keyPos := make([]int, len(loc.Key))
+			for i, k := range loc.Key {
+				p := schema.Index(k)
+				if p < 0 {
+					return fmt.Errorf("cluster: warm load of %q: key column %q not in schema %v", name, k, schema)
+				}
+				keyPos[i] = p
+			}
+			frags := dist.SplitByKey(rel, keyPos, len(pc.conns))
+			if err := pc.fanout(func(i int, c inet.Conn) error {
+				return call(c, opInstallDelta, &installDeltaReq{Name: name, Schema: schema, Payload: inet.EncodeRelationPlain(frags[i])}, &installDeltaResp{})
+			}); err != nil {
+				return pc.fail(err)
+			}
+		default:
+			return fmt.Errorf("cluster: cannot warm load view %q located %v", name, loc)
+		}
+	}
+	return nil
+}
+
+// Run processes one driver-resident update batch (Fig. 5 shape).
+func (pc *ProcCluster) Run(prog *dist.DistProgram, batch *mring.Relation) (Metrics, error) {
+	if prog == nil {
+		return Metrics{}, fmt.Errorf("cluster: nil distributed program (unknown relation?)")
+	}
+	if pc.err != nil {
+		return Metrics{}, pc.err
+	}
+	dn := eval.DeltaName(prog.Relation)
+	pc.driver.rels[dn] = batch
+	pc.schemas[dn] = batch.Schema()
+	return pc.runBlocks(prog)
+}
+
+// RunPartitionedBatch deals the batch round-robin across the workers and
+// processes it. Each fragment ships in deal order and is rebuilt on its
+// worker by the same insertion sequence the in-process cluster uses to
+// build the fragment it hands over by reference.
+func (pc *ProcCluster) RunPartitionedBatch(prog *dist.DistProgram, batch *mring.Relation) (Metrics, error) {
+	if prog == nil {
+		return Metrics{}, fmt.Errorf("cluster: nil distributed program (unknown relation?)")
+	}
+	if pc.err != nil {
+		return Metrics{}, pc.err
+	}
+	dn := eval.DeltaName(prog.Relation)
+	pc.schemas[dn] = batch.Schema()
+	builders := make([]*inet.PayloadBuilder, len(pc.conns))
+	for i := range builders {
+		builders[i] = inet.NewPayloadBuilder(batch.Schema())
+	}
+	i := 0
+	batch.Foreach(func(t mring.Tuple, m float64) {
+		builders[i%len(builders)].Add(t, m)
+		i++
+	})
+	if err := pc.fanout(func(i int, c inet.Conn) error {
+		return call(c, opInstallDelta, &installDeltaReq{Name: dn, Schema: batch.Schema(), Payload: builders[i].Bytes()}, &installDeltaResp{})
+	}); err != nil {
+		return Metrics{}, pc.fail(err)
+	}
+	return pc.runBlocks(prog)
+}
+
+func (pc *ProcCluster) runBlocks(prog *dist.DistProgram) (Metrics, error) {
+	var m Metrics
+	m.Stages = prog.Stages()
+	m.Jobs = prog.Jobs()
+	for _, b := range prog.Blocks {
+		if b.Mode == dist.LDist {
+			if err := pc.runDistBlock(b, &m); err != nil {
+				return m, pc.fail(err)
+			}
+			continue
+		}
+		if err := pc.runLocalBlock(b, &m); err != nil {
+			// Any mid-batch failure poisons: installs may have landed on a
+			// subset of workers, so remote state can no longer be trusted.
+			return m, pc.fail(err)
+		}
+	}
+	return m, nil
+}
+
+// runLocalBlock executes driver-side statements; transformer statements
+// move real bytes. Metrics report measured wall time and real payload
+// sizes (no virtual cost model — this is a real deployment).
+func (pc *ProcCluster) runLocalBlock(b dist.Block, m *Metrics) error {
+	prepareStmtsIn(pc.schemas, b.Stmts)
+	rounds := 0
+	var roundBytes, maxWorkerBytes int64
+	start := time.Now()
+	var st eval.Stats
+	for _, s := range b.Stmts {
+		if x, ok := s.RHS.(*dist.Xform); ok {
+			bytes, maxPer, err := pc.applyXform(s.LHS, x)
+			if err != nil {
+				return err
+			}
+			rounds = 1
+			roundBytes += bytes
+			if maxPer > maxWorkerBytes {
+				maxWorkerBytes = maxPer
+			}
+			continue
+		}
+		st.Add(runStmtOnNode(pc.driver, pc.schemas, s, pc.driverSinkFor(s.LHS)))
+	}
+	pc.stats.Add(st)
+	elapsed := time.Since(start)
+	m.Latency += elapsed
+	m.ComputeMax += elapsed
+	m.ComputeSum += elapsed
+	if rounds > 0 {
+		m.ShuffledBytes += roundBytes
+		if maxWorkerBytes > m.MaxWorkerShuffleBytes {
+			m.MaxWorkerShuffleBytes = maxWorkerBytes
+		}
+	}
+	return nil
+}
+
+// runDistBlock ships one stage to every worker in parallel and merges
+// the outcomes in worker-index order after all respond — the socket form
+// of the simulator's goroutine fan-out and post-barrier merge.
+func (pc *ProcCluster) runDistBlock(b dist.Block, m *Metrics) error {
+	prepareStmtsIn(pc.schemas, b.Stmts)
+	// Watched worker-maintained views this stage writes, sorted so the
+	// wire shape is deterministic; per-name capture order is irrelevant
+	// (distinct accumulators), per-worker order is index order below.
+	var watchNames []string
+	for name := range pc.watch {
+		if pc.watchDriverSide(name) {
+			continue
+		}
+		for _, s := range b.Stmts {
+			if s.LHS == name {
+				watchNames = append(watchNames, name)
+				break
+			}
+		}
+	}
+	sort.Strings(watchNames)
+	start := time.Now()
+	req := &runBlockReq{Stmts: b.Stmts, Schemas: pc.schemas, Watch: watchNames}
+	resps := make([]runBlockResp, len(pc.conns))
+	if err := pc.fanout(func(i int, c inet.Conn) error {
+		return call(c, opRunBlock, req, &resps[i])
+	}); err != nil {
+		return err
+	}
+	for _, name := range watchNames {
+		dst := pc.watch[name]
+		for i := range resps {
+			if err := replayInto(dst, resps[i].Sinks[name], 1); err != nil {
+				return err
+			}
+		}
+	}
+	var maxCompute, sumCompute time.Duration
+	for i := range resps {
+		pc.stats.Add(resps[i].Stats)
+		d := time.Duration(resps[i].ComputeNs)
+		pc.workerCompute[i] += d
+		pc.workerStages[i]++
+		sumCompute += d
+		if d > maxCompute {
+			maxCompute = d
+		}
+	}
+	m.Latency += time.Since(start)
+	m.ComputeMax += maxCompute
+	m.ComputeSum += sumCompute
+	return nil
+}
+
+// applyXform performs one transformer's data movement over the wire and
+// returns (total bytes moved, max per-worker bytes).
+func (pc *ProcCluster) applyXform(lhs string, x *dist.Xform) (int64, int64, error) {
+	src, ok := x.Body.(*expr.Rel)
+	if !ok {
+		return 0, 0, fmt.Errorf("cluster: transformer body is not a view reference: %s", x)
+	}
+	srcName := eval.RelEnvName(src)
+	srcSchema := schemaOfIn(pc.schemas, srcName, src.Cols)
+	lhsSchema := schemaOfIn(pc.schemas, lhs, srcSchema)
+	keyPos := make([]int, len(x.Key))
+	for i, k := range x.Key {
+		p := src.Cols.Index(k)
+		if p < 0 {
+			return 0, 0, fmt.Errorf("cluster: key column %q not in %s(%v)", k, srcName, src.Cols)
+		}
+		keyPos[i] = p
+	}
+
+	captureWorkers := pc.watch[lhs] != nil && !pc.watchDriverSide(lhs)
+	var total, maxPer int64
+	switch x.Kind {
+	case dist.XScatter:
+		srcRel := pc.driver.rel(srcName, srcSchema)
+		if len(x.Key) == 0 {
+			// Broadcast: encode once, every worker clears and installs the
+			// same payload (columnar when the mirror allows, so the replica
+			// lands columnar on the worker exactly as in-process).
+			payload := inet.EncodePayload(srcRel, fragmentBatch(srcRel))
+			if err := pc.fanout(func(i int, c inet.Conn) error {
+				return call(c, opInstallScatter, &installScatterReq{Name: lhs, Schema: lhsSchema, Payload: payload, Broadcast: true}, &installResp{})
+			}); err != nil {
+				return 0, 0, err
+			}
+			sz := int64(len(payload))
+			return sz * int64(len(pc.conns)), sz, nil
+		}
+		frags := dist.SplitByKey(srcRel, keyPos, len(pc.conns))
+		payloads := make([][]byte, len(frags))
+		for i, f := range frags {
+			if f != nil {
+				payloads[i] = inet.EncodePayload(f, fragmentBatch(f))
+			}
+		}
+		resps := make([]installResp, len(pc.conns))
+		if err := pc.fanout(func(i int, c inet.Conn) error {
+			return call(c, opInstallScatter, &installScatterReq{Name: lhs, Schema: lhsSchema, Payload: payloads[i], Capture: captureWorkers}, &resps[i])
+		}); err != nil {
+			return 0, 0, err
+		}
+		for i := range payloads {
+			sz := int64(len(payloads[i]))
+			total += sz
+			if sz > maxPer {
+				maxPer = sz
+			}
+		}
+		if captureWorkers {
+			for i := range resps {
+				if err := pc.replayCapture(lhs, &resps[i]); err != nil {
+					return 0, 0, err
+				}
+			}
+		}
+		return total, maxPer, nil
+	case dist.XRepart:
+		// Exchange, two phases: every worker splits its fragment by key and
+		// ships the pieces up; the driver routes them and every receiver
+		// rebuilds its fragment from the senders in worker-index order.
+		outs := make([]partitionOutResp, len(pc.conns))
+		if err := pc.fanout(func(i int, c inet.Conn) error {
+			return call(c, opPartitionOut, &partitionOutReq{Src: srcName, Schema: srcSchema, KeyPos: keyPos}, &outs[i])
+		}); err != nil {
+			return 0, 0, err
+		}
+		per := make([][][]byte, len(pc.conns)) // per[target][sender]
+		for ti := range per {
+			per[ti] = make([][]byte, len(pc.conns))
+		}
+		sent := make([]int64, len(pc.conns))
+		for wi := range outs {
+			if len(outs[wi].Frags) != len(pc.conns) {
+				return 0, 0, fmt.Errorf("cluster: worker %d returned %d exchange fragments for %d workers", wi, len(outs[wi].Frags), len(pc.conns))
+			}
+			for ti, f := range outs[wi].Frags {
+				per[ti][wi] = f
+				if len(f) > 0 && ti != wi { // local data does not cross the network
+					sz := int64(len(f))
+					total += sz
+					sent[wi] += sz
+				}
+			}
+		}
+		for _, s := range sent {
+			if s > maxPer {
+				maxPer = s
+			}
+		}
+		resps := make([]installResp, len(pc.conns))
+		if err := pc.fanout(func(i int, c inet.Conn) error {
+			return call(c, opInstallRepart, &installRepartReq{Name: lhs, SrcSchema: srcSchema, LHSSchema: lhsSchema, Payloads: per[i], Capture: captureWorkers}, &resps[i])
+		}); err != nil {
+			return 0, 0, err
+		}
+		if captureWorkers {
+			for i := range resps {
+				if err := pc.replayCapture(lhs, &resps[i]); err != nil {
+					return 0, 0, err
+				}
+			}
+		}
+		return total, maxPer, nil
+	default: // Gather
+		// Fetch every worker's pre-aggregated fragment and merge them into
+		// one group table strictly in worker-index order; the stored row
+		// hashes equal the recomputed ones, so AddPrehashed replays the
+		// simulator's MergeRelation float additions exactly.
+		resps := make([]fetchResp, len(pc.conns))
+		if err := pc.fanout(func(i int, c inet.Conn) error {
+			return call(c, opFetch, &fetchReq{Name: srcName, Schema: srcSchema}, &resps[i])
+		}); err != nil {
+			return 0, 0, err
+		}
+		gt := mring.NewGroupTable(srcSchema)
+		for i := range resps {
+			if !resps[i].Present || len(resps[i].Payload) == 0 {
+				continue
+			}
+			p, err := inet.DecodePayload(resps[i].Payload)
+			if err != nil {
+				return 0, 0, err
+			}
+			sz := int64(len(resps[i].Payload))
+			total += sz
+			if sz > maxPer {
+				maxPer = sz
+			}
+			p.Foreach(func(t mring.Tuple, m float64) { gt.AddPrehashed(t.Hash(), t, m) })
+		}
+		dst := pc.driver.rel(lhs, lhsSchema)
+		var old *mring.Relation
+		if pc.watch[lhs] != nil && pc.watchDriverSide(lhs) {
+			old = dst.Clone()
+		}
+		dst.Clear()
+		gt.FillRelation(dst)
+		if old != nil {
+			pc.captureReplace(lhs, old, dst)
+		}
+		return total, maxPer, nil
+	}
+}
+
+// ViewContents reconstructs a view's full logical contents, merging the
+// same copies in the same order as the simulated cluster. A healthy read
+// refreshes the committed cache; a poisoned cluster serves the cached
+// last-committed contents instead, so readers never observe a partially
+// applied transaction.
+func (pc *ProcCluster) ViewContents(name string) *mring.Relation {
+	schema := pc.schemas[name]
+	if pc.err != nil {
+		if r := pc.committed[name]; r != nil {
+			return r.Clone()
+		}
+		return mring.NewRelation(schema)
+	}
+	out, err := pc.viewContents(name, schema)
+	if err != nil {
+		pc.fail(err)
+		if r := pc.committed[name]; r != nil {
+			return r.Clone()
+		}
+		return mring.NewRelation(schema)
+	}
+	pc.committed[name] = out.Clone()
+	return out
+}
+
+func (pc *ProcCluster) viewContents(name string, schema mring.Schema) (*mring.Relation, error) {
+	out := mring.NewRelation(schema)
+	loc, ok := pc.parts[name]
+	if ok && loc.Kind == dist.LLocal {
+		if r := pc.driver.rels[name]; r != nil {
+			out.Merge(r)
+		}
+		return out, nil
+	}
+	resps := make([]fetchResp, len(pc.conns))
+	if err := pc.fanout(func(i int, c inet.Conn) error {
+		return call(c, opFetch, &fetchReq{Name: name, Schema: schema}, &resps[i])
+	}); err != nil {
+		return nil, err
+	}
+	if loc.Kind == dist.LIndiff {
+		// Replicated: the first present replica, in worker-index order, is
+		// the contents (same copy choice as in-process).
+		for i := range resps {
+			if !resps[i].Present {
+				continue
+			}
+			if err := replayInto(out, resps[i].Payload, 1); err != nil {
+				return nil, err
+			}
+			return out, nil
+		}
+		return out, nil
+	}
+	for i := range resps {
+		if !resps[i].Present {
+			continue
+		}
+		if err := replayInto(out, resps[i].Payload, 1); err != nil {
+			return nil, err
+		}
+	}
+	if !ok {
+		if r := pc.driver.rels[name]; r != nil {
+			out.Merge(r)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,133 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	inet "repro/internal/net"
+)
+
+// ServeConn runs one driver session over a framed connection: a fresh
+// shard per connection (driver sessions own their worker state), request
+// frames dispatched sequentially until the peer closes. Handler panics
+// are converted to opErr responses — a hostile or buggy driver must not
+// take the worker process down.
+func ServeConn(conn inet.Conn) error {
+	defer conn.Close()
+	sh := NewShard()
+	for {
+		op, body, err := conn.Recv()
+		if err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return err
+		}
+		resp, herr := handleSafely(sh, op, body)
+		if herr != nil {
+			if err := conn.Send(opErr, []byte(herr.Error())); err != nil {
+				return err
+			}
+			continue
+		}
+		rbody, err := encodeMsg(resp)
+		if err != nil {
+			herr = fmt.Errorf("cluster: encode response to op %d: %w", op, err)
+			if err := conn.Send(opErr, []byte(herr.Error())); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := conn.Send(opOK, rbody); err != nil {
+			return err
+		}
+	}
+}
+
+func handleSafely(sh *Shard, op byte, body []byte) (resp any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			resp, err = nil, fmt.Errorf("cluster: op %d panicked: %v", op, r)
+		}
+	}()
+	return sh.Handle(op, body)
+}
+
+// WorkerServer accepts driver connections on a listener and serves each
+// on its own goroutine. Close stops accepting and severs every active
+// connection — the kill-a-worker tests use it to drop a worker
+// mid-transaction.
+type WorkerServer struct {
+	l inet.Listener
+
+	mu     sync.Mutex
+	conns  map[inet.Conn]struct{}
+	closed bool
+
+	wg sync.WaitGroup
+}
+
+// ListenAndServeWorker starts a worker server on addr (port 0 picks a
+// free port; read it back with Addr).
+func ListenAndServeWorker(tr inet.Transport, addr string) (*WorkerServer, error) {
+	l, err := tr.Listen(addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &WorkerServer{l: l, conns: make(map[inet.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listener's address.
+func (s *WorkerServer) Addr() string { return s.l.Addr() }
+
+func (s *WorkerServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.l.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			ServeConn(conn)
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+// Close stops the server: no new connections are accepted and every
+// active driver connection is severed. Safe to call more than once.
+func (s *WorkerServer) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	conns := make([]inet.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	err := s.l.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+	return err
+}

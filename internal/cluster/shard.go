@@ -1,0 +1,285 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/eval"
+	"repro/internal/mring"
+	inet "repro/internal/net"
+	"repro/internal/pool"
+)
+
+// Shard is the worker side of the process cluster: one worker node's
+// fragments plus the request handlers that mutate them. Each handler
+// replays exactly the mutation sequence the simulated cluster's driver
+// would have applied to the same worker in-process, so the shard's
+// relation layouts — and therefore every downstream iteration order and
+// float fold — stay bitwise-identical to the in-process oracle.
+//
+// A shard serves one driver connection at a time; requests on that
+// connection are strictly sequential, so no handler needs locking.
+type Shard struct {
+	index   int
+	workers int
+	node    *node
+	schemas map[string]mring.Schema
+}
+
+// NewShard returns an empty shard awaiting opSetup.
+func NewShard() *Shard {
+	return &Shard{index: -1, node: newNode(), schemas: make(map[string]mring.Schema)}
+}
+
+// Handle dispatches one protocol request and returns the response body.
+// Malformed or hostile requests return errors — handlers never panic on
+// bad input (payloads go through the hardened internal/net decoders).
+func (sh *Shard) Handle(op byte, body []byte) (any, error) {
+	switch op {
+	case opSetup:
+		var req setupReq
+		if err := decodeMsg(body, &req); err != nil {
+			return nil, err
+		}
+		if req.Workers < 1 || req.Index < 0 || req.Index >= req.Workers {
+			return nil, fmt.Errorf("cluster: bad setup index %d of %d workers", req.Index, req.Workers)
+		}
+		sh.index, sh.workers = req.Index, req.Workers
+		return setupResp{}, nil
+	case opRunBlock:
+		var req runBlockReq
+		if err := decodeMsg(body, &req); err != nil {
+			return nil, err
+		}
+		return sh.runBlock(&req)
+	case opInstallScatter:
+		var req installScatterReq
+		if err := decodeMsg(body, &req); err != nil {
+			return nil, err
+		}
+		return sh.installScatter(&req)
+	case opInstallRepart:
+		var req installRepartReq
+		if err := decodeMsg(body, &req); err != nil {
+			return nil, err
+		}
+		return sh.installRepart(&req)
+	case opInstallDelta:
+		var req installDeltaReq
+		if err := decodeMsg(body, &req); err != nil {
+			return nil, err
+		}
+		return sh.installDelta(&req)
+	case opPartitionOut:
+		var req partitionOutReq
+		if err := decodeMsg(body, &req); err != nil {
+			return nil, err
+		}
+		return sh.partitionOut(&req)
+	case opFetch:
+		var req fetchReq
+		if err := decodeMsg(body, &req); err != nil {
+			return nil, err
+		}
+		return sh.fetch(&req)
+	default:
+		return nil, fmt.Errorf("cluster: unknown op %d", op)
+	}
+}
+
+func (sh *Shard) setup() error {
+	if sh.workers < 1 {
+		return fmt.Errorf("cluster: shard not set up")
+	}
+	return nil
+}
+
+// runBlock executes one distributed block's statements over the shard's
+// fragments — the remote form of the per-worker goroutine body in
+// runDistBlock, including the private change sinks for watched views.
+func (sh *Shard) runBlock(req *runBlockReq) (*runBlockResp, error) {
+	if err := sh.setup(); err != nil {
+		return nil, err
+	}
+	// The driver ships its schema map after prepareStmts; adopting it
+	// reproduces the oracle's invariant that workers only read schemas.
+	for name, s := range req.Schemas {
+		sh.schemas[name] = s
+	}
+	var sinks map[string]*mring.Relation
+	for _, name := range req.Watch {
+		s, ok := sh.schemas[name]
+		if !ok {
+			return nil, fmt.Errorf("cluster: watch of %q without schema", name)
+		}
+		if sinks == nil {
+			sinks = make(map[string]*mring.Relation, len(req.Watch))
+		}
+		sinks[name] = mring.NewRelation(s)
+	}
+	for _, s := range req.Stmts {
+		if _, ok := sh.schemas[s.LHS]; !ok {
+			return nil, fmt.Errorf("cluster: statement target %q without schema", s.LHS)
+		}
+	}
+	start := time.Now()
+	var st eval.Stats
+	for _, s := range req.Stmts {
+		st.Add(runStmtOnNode(sh.node, sh.schemas, s, sinks[s.LHS]))
+	}
+	resp := &runBlockResp{Stats: st, ComputeNs: time.Since(start).Nanoseconds()}
+	for name, sink := range sinks {
+		if sink.Len() == 0 {
+			continue // merging an empty sink is a no-op on the driver
+		}
+		if resp.Sinks == nil {
+			resp.Sinks = make(map[string][]byte, len(sinks))
+		}
+		resp.Sinks[name] = inet.EncodeRelationPlain(sink)
+	}
+	return resp, nil
+}
+
+// installScatter is the worker half of a scatter: clear the target
+// fragment, install the shipped payload, and (for watched keyed views)
+// return the replacement diff the driver folds into the batch delta.
+func (sh *Shard) installScatter(req *installScatterReq) (*installResp, error) {
+	if err := sh.setup(); err != nil {
+		return nil, err
+	}
+	sh.schemas[req.Name] = req.Schema
+	dst := sh.node.rel(req.Name, req.Schema)
+	var old *mring.Relation
+	if req.Capture {
+		old = dst.Clone()
+	}
+	dst.Clear()
+	if len(req.Payload) > 0 {
+		p, err := inet.DecodePayload(req.Payload)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: scatter payload for %q: %w", req.Name, err)
+		}
+		installPayload(dst, p)
+	}
+	resp := &installResp{}
+	if req.Capture {
+		resp.Cur = inet.EncodeRelationPlain(dst)
+		resp.Old = inet.EncodeRelationPlain(old)
+	}
+	return resp, nil
+}
+
+// installRepart rebuilds the target fragment from the per-sender payloads
+// of an exchange, replaying the oracle's build: incoming accumulates the
+// senders' fragments in worker-index order, then replaces the target.
+func (sh *Shard) installRepart(req *installRepartReq) (*installResp, error) {
+	if err := sh.setup(); err != nil {
+		return nil, err
+	}
+	sh.schemas[req.Name] = req.LHSSchema
+	var incoming *mring.Relation
+	for _, pb := range req.Payloads {
+		if len(pb) == 0 {
+			continue // empty sender fragments are skipped, as in-process
+		}
+		p, err := inet.DecodePayload(pb)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: repart payload for %q: %w", req.Name, err)
+		}
+		if incoming == nil {
+			incoming = mring.NewRelation(req.SrcSchema)
+		}
+		p.Foreach(incoming.Add)
+	}
+	dst := sh.node.rel(req.Name, req.LHSSchema)
+	var old *mring.Relation
+	if req.Capture {
+		old = dst.Clone()
+	}
+	dst.Clear()
+	if incoming != nil {
+		dst.Merge(incoming)
+	}
+	resp := &installResp{}
+	if req.Capture {
+		resp.Cur = inet.EncodeRelationPlain(dst)
+		resp.Old = inet.EncodeRelationPlain(old)
+	}
+	return resp, nil
+}
+
+// installDelta replaces a relation with a fresh one rebuilt from the
+// payload rows in wire order — the remote form of handing a worker a
+// driver-built fragment by reference (update-batch deals, warm loads).
+func (sh *Shard) installDelta(req *installDeltaReq) (*installDeltaResp, error) {
+	if err := sh.setup(); err != nil {
+		return nil, err
+	}
+	sh.schemas[req.Name] = req.Schema
+	fresh := mring.NewRelation(req.Schema)
+	if len(req.Payload) > 0 {
+		p, err := inet.DecodePayload(req.Payload)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: delta payload for %q: %w", req.Name, err)
+		}
+		p.Foreach(fresh.Add)
+	}
+	sh.node.rels[req.Name] = fresh
+	return &installDeltaResp{}, nil
+}
+
+// partitionOut splits the shard's fragment of Src by key and returns the
+// per-destination payloads — the sender half of an exchange.
+func (sh *Shard) partitionOut(req *partitionOutReq) (*partitionOutResp, error) {
+	if err := sh.setup(); err != nil {
+		return nil, err
+	}
+	for _, p := range req.KeyPos {
+		if p < 0 || p >= len(req.Schema) {
+			return nil, fmt.Errorf("cluster: key position %d outside schema %v", p, req.Schema)
+		}
+	}
+	if _, ok := sh.schemas[req.Src]; !ok {
+		sh.schemas[req.Src] = req.Schema
+	}
+	src := sh.node.rel(req.Src, req.Schema)
+	frags := dist.SplitByKey(src, req.KeyPos, sh.workers)
+	resp := &partitionOutResp{Frags: make([][]byte, len(frags))}
+	for i, f := range frags {
+		if f == nil || f.Len() == 0 {
+			continue
+		}
+		resp.Frags[i] = inet.EncodeRelationPlain(f)
+	}
+	return resp, nil
+}
+
+// fetch returns the shard's fragment of a relation without creating it —
+// Present distinguishes an absent replica from an empty one.
+func (sh *Shard) fetch(req *fetchReq) (*fetchResp, error) {
+	if err := sh.setup(); err != nil {
+		return nil, err
+	}
+	r := sh.node.rels[req.Name]
+	if r == nil {
+		return &fetchResp{}, nil
+	}
+	return &fetchResp{Present: true, Payload: inet.EncodeRelationPlain(r)}, nil
+}
+
+// installPayload fills a just-cleared relation from a wire payload the
+// way installFragment fills it from an in-process fragment: a columnar
+// payload merges from the batch and becomes dst's mirror; a row payload
+// replays in wire order. Row order is identical either way, so dst's
+// storage is bitwise independent of which form shipped.
+func installPayload(dst *mring.Relation, p *inet.Payload) {
+	if p.Batch != nil {
+		p.Batch.MergeInto(dst)
+		if dst.Len() == p.Batch.Len() {
+			pool.AttachMirror(dst, p.Batch)
+		}
+		return
+	}
+	p.Foreach(dst.Add)
+}

@@ -1,0 +1,251 @@
+package net
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/mring"
+	"repro/internal/pool"
+)
+
+// Relation payloads cross the wire in one of two self-describing forms,
+// tagged by the first byte:
+//
+//	0x00  columnar — pool.ColBatch.Encode bytes (lossless only when every
+//	      column is single-kind; the sender decides)
+//	0x01  row format — schema, then rows as (kind,value)* + multiplicity,
+//	      in exactly the order the sender enumerated them
+//
+// Both forms preserve row order, which is load-bearing: receivers replay
+// the rows as a mutation sequence, and the open-chained hash layout of
+// the rebuilt relation (hence every downstream iteration and float fold
+// order) is a function of that exact sequence. The row format exists so
+// mixed-kind relations ship losslessly — pool.EncodeRelation's coercing
+// fallback must never be used across a process boundary.
+const (
+	payloadColumnar byte = 0
+	payloadRows     byte = 1
+)
+
+// maxPayloadCols bounds the column count a payload may declare.
+const maxPayloadCols = 1 << 12
+
+// Payload is one decoded relation payload: either a columnar batch or an
+// ordered row list. Foreach visits rows in wire order.
+type Payload struct {
+	Schema mring.Schema
+	// Batch is the decoded columnar batch for columnar payloads, nil for
+	// row-format payloads. Receivers that keep fragments columnar attach
+	// it as the rebuilt relation's mirror.
+	Batch *pool.ColBatch
+
+	rows  []mring.Tuple
+	mults []float64
+}
+
+// Len returns the number of rows.
+func (p *Payload) Len() int {
+	if p.Batch != nil {
+		return p.Batch.Len()
+	}
+	return len(p.rows)
+}
+
+// Foreach visits every row in wire order. The tuple may be a reused
+// buffer; callers must copy what they retain (relation inserts already
+// clone).
+func (p *Payload) Foreach(f func(t mring.Tuple, m float64)) {
+	if p.Batch != nil {
+		p.Batch.Foreach(f)
+		return
+	}
+	for i, t := range p.rows {
+		f(t, p.mults[i])
+	}
+}
+
+// EncodePayload serializes r: through the columnar batch when the caller
+// resolved one (its row order must match what the receiver should
+// replay), in row format — r's Foreach order — otherwise. Empty
+// relations encode to nil.
+func EncodePayload(r *mring.Relation, batch *pool.ColBatch) []byte {
+	if r == nil || r.Len() == 0 {
+		return nil
+	}
+	if batch != nil {
+		return append([]byte{payloadColumnar}, batch.Encode()...)
+	}
+	b := NewPayloadBuilder(r.Schema())
+	r.Foreach(b.Add)
+	return b.Bytes()
+}
+
+// EncodeRelationPlain serializes r losslessly in its Foreach order,
+// through the columnar form when the contents are single-kind per column
+// and the row format otherwise. Use it for payloads whose receiver
+// replays rows without attaching a mirror.
+func EncodeRelationPlain(r *mring.Relation) []byte {
+	if r == nil || r.Len() == 0 {
+		return nil
+	}
+	if b, ok := pool.TryFromRelation(r); ok {
+		return append([]byte{payloadColumnar}, b.Encode()...)
+	}
+	b := NewPayloadBuilder(r.Schema())
+	r.Foreach(b.Add)
+	return b.Bytes()
+}
+
+// PayloadBuilder accumulates rows into a row-format payload in the exact
+// order they are added — the builder for payloads whose replay order is
+// an insertion order rather than a relation's Foreach order (round-robin
+// delta fragments, keyed warm-start splits).
+type PayloadBuilder struct {
+	schema mring.Schema
+	n      int
+	body   []byte
+}
+
+// NewPayloadBuilder returns an empty builder for the given schema.
+func NewPayloadBuilder(schema mring.Schema) *PayloadBuilder {
+	return &PayloadBuilder{schema: schema}
+}
+
+// Len returns the number of rows added.
+func (b *PayloadBuilder) Len() int { return b.n }
+
+// Add appends one row.
+func (b *PayloadBuilder) Add(t mring.Tuple, m float64) {
+	for _, v := range t {
+		b.body = append(b.body, byte(v.K))
+		switch v.K {
+		case mring.KInt:
+			b.body = binary.AppendVarint(b.body, v.I)
+		case mring.KFloat:
+			b.body = binary.LittleEndian.AppendUint64(b.body, math.Float64bits(v.F))
+		default:
+			b.body = binary.AppendUvarint(b.body, uint64(len(v.S)))
+			b.body = append(b.body, v.S...)
+		}
+	}
+	b.body = binary.LittleEndian.AppendUint64(b.body, math.Float64bits(m))
+	b.n++
+}
+
+// Bytes serializes the accumulated rows; nil when no rows were added.
+func (b *PayloadBuilder) Bytes() []byte {
+	if b.n == 0 {
+		return nil
+	}
+	out := []byte{payloadRows}
+	out = binary.AppendUvarint(out, uint64(len(b.schema)))
+	for _, col := range b.schema {
+		out = binary.AppendUvarint(out, uint64(len(col)))
+		out = append(out, col...)
+	}
+	out = binary.AppendUvarint(out, uint64(b.n))
+	return append(out, b.body...)
+}
+
+// DecodePayload parses one relation payload. Every count and length is
+// bounds-checked against the remaining input before allocation, and
+// unknown tags, kinds, and truncations return errors — the function must
+// never panic on hostile bytes (it is fuzzed).
+func DecodePayload(buf []byte) (*Payload, error) {
+	if len(buf) == 0 {
+		return nil, fmt.Errorf("net: empty relation payload")
+	}
+	switch buf[0] {
+	case payloadColumnar:
+		cb, err := pool.Decode(buf[1:])
+		if err != nil {
+			return nil, fmt.Errorf("net: columnar payload: %w", err)
+		}
+		return &Payload{Schema: cb.Schema, Batch: cb}, nil
+	case payloadRows:
+		return decodeRowPayload(buf[1:])
+	default:
+		return nil, fmt.Errorf("net: unknown payload tag 0x%02x", buf[0])
+	}
+}
+
+func decodeRowPayload(buf []byte) (*Payload, error) {
+	nc, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return nil, fmt.Errorf("net: row payload: bad column count")
+	}
+	buf = buf[n:]
+	if nc > maxPayloadCols || nc > uint64(len(buf)) {
+		return nil, fmt.Errorf("net: row payload: column count %d exceeds input", nc)
+	}
+	schema := make(mring.Schema, nc)
+	for i := range schema {
+		l, n := binary.Uvarint(buf)
+		if n <= 0 || l > uint64(len(buf)-n) {
+			return nil, fmt.Errorf("net: row payload: bad column name length")
+		}
+		schema[i] = string(buf[n : n+int(l)])
+		buf = buf[n+int(l):]
+	}
+	nr, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return nil, fmt.Errorf("net: row payload: bad row count")
+	}
+	buf = buf[n:]
+	// Every row ends in an 8-byte multiplicity, so a row count past
+	// len/8 is a lie about the input size — reject it before allocating.
+	if nr > uint64(len(buf))/8 {
+		return nil, fmt.Errorf("net: row payload: row count %d exceeds input", nr)
+	}
+	p := &Payload{
+		Schema: schema,
+		rows:   make([]mring.Tuple, 0, nr),
+		mults:  make([]float64, 0, nr),
+	}
+	for r := uint64(0); r < nr; r++ {
+		t := make(mring.Tuple, len(schema))
+		for c := range t {
+			if len(buf) == 0 {
+				return nil, fmt.Errorf("net: row payload: truncated row %d", r)
+			}
+			kind := mring.Kind(buf[0])
+			buf = buf[1:]
+			switch kind {
+			case mring.KInt:
+				v, n := binary.Varint(buf)
+				if n <= 0 {
+					return nil, fmt.Errorf("net: row payload: bad int in row %d", r)
+				}
+				t[c] = mring.Int(v)
+				buf = buf[n:]
+			case mring.KFloat:
+				if len(buf) < 8 {
+					return nil, fmt.Errorf("net: row payload: truncated float in row %d", r)
+				}
+				t[c] = mring.Float(math.Float64frombits(binary.LittleEndian.Uint64(buf)))
+				buf = buf[8:]
+			case mring.KString:
+				l, n := binary.Uvarint(buf)
+				if n <= 0 || l > uint64(len(buf)-n) {
+					return nil, fmt.Errorf("net: row payload: bad string length in row %d", r)
+				}
+				t[c] = mring.Str(string(buf[n : n+int(l)]))
+				buf = buf[n+int(l):]
+			default:
+				return nil, fmt.Errorf("net: row payload: unknown value kind %d in row %d", kind, r)
+			}
+		}
+		if len(buf) < 8 {
+			return nil, fmt.Errorf("net: row payload: truncated multiplicity in row %d", r)
+		}
+		m := math.Float64frombits(binary.LittleEndian.Uint64(buf))
+		buf = buf[8:]
+		p.rows = append(p.rows, t)
+		p.mults = append(p.mults, m)
+	}
+	if len(buf) != 0 {
+		return nil, fmt.Errorf("net: row payload: %d trailing bytes", len(buf))
+	}
+	return p, nil
+}

@@ -263,7 +263,7 @@ func TestSubscribeMidStream(t *testing.T) {
 		}
 		apply(1, 2) // unsubscribed: no capture
 		var got []string
-		cancel := eng.Subscribe(func(d Delta) { got = append(got, d.String()) })
+		cancel, _ := eng.Subscribe(func(d Delta) { got = append(got, d.String()) })
 		apply(3) // subscribed: captured
 		cancel()
 		apply(4) // unsubscribed again

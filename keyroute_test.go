@@ -181,8 +181,8 @@ func TestSubscribeCancelStopsCapture(t *testing.T) {
 	}
 
 	n := 0
-	cancelA := e.Subscribe(func(Delta) { n++ })
-	cancelB := e.Subscribe(func(Delta) { n++ })
+	cancelA, _ := e.Subscribe(func(Delta) { n++ })
+	cancelB, _ := e.Subscribe(func(Delta) { n++ })
 	apply(1)
 	if n != 2 {
 		t.Fatalf("delivered %d calls, want 2", n)

@@ -1,0 +1,467 @@
+package ivm
+
+// Process-cluster gate: an engine on ivm.Remote — real TCP sockets, a
+// worker server per worker — must be indistinguishable from the
+// in-process simulated cluster at the same worker count. The goldens
+// pin bitwise equality (exact float comparison, not approximate) of
+// both the maintained results and the subscriber delta streams, because
+// both deployments replay the identical mutation sequences in the
+// identical orders. Run under -race (make test) this also exercises the
+// connection fan-out paths for data races.
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/mring"
+	inet "repro/internal/net"
+	"repro/internal/tpch"
+)
+
+// startWorkers launches n in-process worker servers on loopback TCP and
+// returns their addresses; the servers stop at test cleanup.
+func startWorkers(t *testing.T, n int) ([]string, []*cluster.WorkerServer) {
+	t.Helper()
+	addrs := make([]string, n)
+	srvs := make([]*cluster.WorkerServer, n)
+	for i := range addrs {
+		srv, err := cluster.ListenAndServeWorker(inet.TCP{}, "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { srv.Close() })
+		addrs[i] = srv.Addr()
+		srvs[i] = srv
+	}
+	return addrs, srvs
+}
+
+// requireBitwiseEqual fails unless the two relations hold exactly the
+// same tuples with exactly equal (==, bitwise for our merge orders)
+// values.
+func requireBitwiseEqual(t *testing.T, label string, got, want *mring.Relation) {
+	t.Helper()
+	if got.Len() != want.Len() {
+		t.Fatalf("%s: %d groups, want %d\n got %v\nwant %v", label, got.Len(), want.Len(), got, want)
+	}
+	want.Foreach(func(tp mring.Tuple, m float64) {
+		if g := got.Get(tp); g != m {
+			t.Fatalf("%s: group %v = %g, want exactly %g", label, tp, g, m)
+		}
+	})
+}
+
+func TestGoldenProcessClusterParity(t *testing.T) {
+	for _, name := range []string{"Q1", "Q3", "Q6"} {
+		for _, workers := range []int{1, 8} {
+			t.Run(name+"/workers="+string(rune('0'+workers)), func(t *testing.T) {
+				q, err := tpch.QueryByName(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				bases := q.BaseSchemas()
+
+				oracle, err := New(q.Name, q.Def, bases,
+					Distributed(workers), KeyRanks(tpch.PrimaryKeyRanks))
+				if err != nil {
+					t.Fatal(err)
+				}
+				addrs, _ := startWorkers(t, workers)
+				remote, err := New(q.Name, q.Def, bases,
+					Remote(addrs...), KeyRanks(tpch.PrimaryKeyRanks))
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer remote.Close()
+
+				// Both engines stream their per-transaction deltas; the
+				// deterministic String render pins worker-index-ordered
+				// merges across real sockets.
+				var oracleFeed, remoteFeed []string
+				if _, err := oracle.Subscribe(func(d Delta) {
+					oracleFeed = append(oracleFeed, d.String())
+				}); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := remote.Subscribe(func(d Delta) {
+					remoteFeed = append(remoteFeed, d.String())
+				}); err != nil {
+					t.Fatal(err)
+				}
+
+				goldenStream(t, q, func(table string, b *Batch) {
+					if err := oracle.ApplyBatch(table, b); err != nil {
+						t.Fatal(err)
+					}
+					if err := remote.ApplyBatch(table, b); err != nil {
+						t.Fatal(err)
+					}
+				})
+
+				requireBitwiseEqual(t, "process cluster result",
+					remote.Result().rel, oracle.Result().rel)
+				if len(remoteFeed) != len(oracleFeed) {
+					t.Fatalf("feed lengths differ: remote %d, oracle %d", len(remoteFeed), len(oracleFeed))
+				}
+				for i := range oracleFeed {
+					if remoteFeed[i] != oracleFeed[i] {
+						t.Fatalf("delta #%d differs across transports\n got %s\nwant %s",
+							i, remoteFeed[i], oracleFeed[i])
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestProcessClusterWarmParity pins warm loads (reference-installed and
+// keyed splits) across the wire.
+func TestProcessClusterWarmParity(t *testing.T) {
+	q, err := tpch.QueryByName("Q3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bases := q.BaseSchemas()
+	oracle, err := New(q.Name, q.Def, bases, Distributed(4), KeyRanks(tpch.PrimaryKeyRanks))
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs, _ := startWorkers(t, 4)
+	remote, err := New(q.Name, q.Def, bases, Remote(addrs...), KeyRanks(tpch.PrimaryKeyRanks))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+
+	gen := tpch.NewGenerator(0.03, 11)
+	warm := map[string]*Batch{}
+	stream := tpch.NewStream(gen, q.Tables)
+	for _, b := range stream.NextBatches(500) {
+		if warm[b.Table] == nil {
+			warm[b.Table] = &Batch{rel: mring.NewRelation(b.Rel.Schema())}
+		}
+		warm[b.Table].rel.Merge(b.Rel)
+	}
+	warmClone := map[string]*Batch{}
+	for tbl, b := range warm {
+		warmClone[tbl] = &Batch{rel: b.rel.Clone()}
+	}
+	if err := oracle.Warm(warm); err != nil {
+		t.Fatal(err)
+	}
+	if err := remote.Warm(warmClone); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range stream.NextBatches(500) {
+		if err := oracle.ApplyBatch(b.Table, &Batch{rel: b.Rel.Clone()}); err != nil {
+			t.Fatal(err)
+		}
+		if err := remote.ApplyBatch(b.Table, &Batch{rel: b.Rel}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	requireBitwiseEqual(t, "warm-started process cluster", remote.Result().rel, oracle.Result().rel)
+}
+
+// TestProcessClusterWorkerKill pins the mid-transaction failure
+// semantics: severing a worker mid-stream fails the whole transaction
+// atomically on the driver — the failed Apply's partial captures are
+// discarded, Result stays at the last committed state, and every later
+// operation reports the poisoned cluster.
+func TestProcessClusterWorkerKill(t *testing.T) {
+	q, err := tpch.QueryByName("Q1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bases := q.BaseSchemas()
+	oracle, err := New(q.Name, q.Def, bases, Distributed(2), KeyRanks(tpch.PrimaryKeyRanks))
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs, srvs := startWorkers(t, 2)
+	remote, err := New(q.Name, q.Def, bases, Remote(addrs...), KeyRanks(tpch.PrimaryKeyRanks))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+
+	var feed []string
+	if _, err := remote.Subscribe(func(d Delta) { feed = append(feed, d.String()) }); err != nil {
+		t.Fatal(err)
+	}
+
+	gen := tpch.NewGenerator(0.03, 5)
+	stream := tpch.NewStream(gen, q.Tables)
+	for r := 0; r < 3; r++ {
+		for _, b := range stream.NextBatches(100) {
+			if err := oracle.ApplyBatch(b.Table, &Batch{rel: b.Rel.Clone()}); err != nil {
+				t.Fatal(err)
+			}
+			if err := remote.ApplyBatch(b.Table, &Batch{rel: b.Rel}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Seed the last-committed read cache, and pin pre-kill parity.
+	requireBitwiseEqual(t, "pre-kill", remote.Result().rel, oracle.Result().rel)
+	preKill := remote.Result().rel.Clone()
+	feedLen := len(feed)
+
+	// Sever worker 1 mid-stream and apply the next batch (from a fresh
+	// stream, in case the main one is exhausted).
+	srvs[1].Close()
+	bs := tpch.NewStream(tpch.NewGenerator(0.03, 9), q.Tables).NextBatches(200)
+	if len(bs) == 0 {
+		t.Fatal("no batch available for the kill transaction")
+	}
+	err = remote.ApplyBatch(bs[0].Table, &Batch{rel: bs[0].Rel})
+	if err == nil {
+		t.Fatal("Apply succeeded after worker kill")
+	}
+	if len(feed) != feedLen {
+		t.Fatalf("failed transaction leaked %d delta(s) to the subscriber", len(feed)-feedLen)
+	}
+	// Result stays at the pre-transaction commit.
+	requireBitwiseEqual(t, "post-kill result", remote.Result().rel, preKill)
+
+	// Every later transaction reports the poisoned cluster descriptively.
+	err = remote.ApplyBatch(bs[0].Table, &Batch{rel: bs[0].Rel.Clone()})
+	if err == nil {
+		t.Fatal("Apply succeeded on a poisoned cluster")
+	}
+	if !strings.Contains(err.Error(), "results frozen at last commit") {
+		t.Fatalf("poisoned Apply error not descriptive: %v", err)
+	}
+	requireBitwiseEqual(t, "poisoned result", remote.Result().rel, preKill)
+}
+
+// TestRemoteOptionValidation pins the constructor contract.
+func TestRemoteOptionValidation(t *testing.T) {
+	q, err := tpch.QueryByName("Q6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bases := q.BaseSchemas()
+	if _, err := New(q.Name, q.Def, bases, Remote()); err == nil {
+		t.Fatal("Remote() with no addresses accepted")
+	}
+	if _, err := New(q.Name, q.Def, bases, Remote("127.0.0.1:1"), Distributed(2)); err == nil {
+		t.Fatal("Remote combined with Distributed accepted")
+	}
+	// Unreachable workers fail construction, not the first Apply.
+	if _, err := New(q.Name, q.Def, bases, Remote("127.0.0.1:1")); err == nil {
+		t.Fatal("unreachable worker accepted")
+	}
+}
+
+// TestRemoteFeedStream runs the keyed changefeed over its own socket:
+// a FeedServer on the remote-backed engine streams deltas to a DialFeed
+// subscriber, which must observe the same delta stream an in-process
+// subscriber sees.
+func TestRemoteFeedStream(t *testing.T) {
+	q, err := tpch.QueryByName("Q1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bases := q.BaseSchemas()
+	addrs, _ := startWorkers(t, 2)
+	eng, err := New(q.Name, q.Def, bases, Remote(addrs...), KeyRanks(tpch.PrimaryKeyRanks))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	fs, err := eng.ServeFeed("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+
+	var local []string
+	if _, err := eng.Subscribe(func(d Delta) { local = append(local, d.String()) }); err != nil {
+		t.Fatal(err)
+	}
+	sub, err := DialFeed(fs.Addr(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+
+	gen := tpch.NewGenerator(0.03, 5)
+	stream := tpch.NewStream(gen, q.Tables)
+	n := 0
+	for r := 0; r < 3; r++ {
+		for _, b := range stream.NextBatches(200) {
+			if err := eng.ApplyBatch(b.Table, &Batch{rel: b.Rel}); err != nil {
+				t.Fatal(err)
+			}
+			n++
+		}
+	}
+	for i := 0; i < n; i++ {
+		d, err := sub.Recv()
+		if err != nil {
+			t.Fatalf("delta #%d: %v", i, err)
+		}
+		if got := d.String(); got != local[i] {
+			t.Fatalf("remote delta #%d differs\n got %s\nwant %s", i, got, local[i])
+		}
+	}
+}
+
+// TestDialFeedRejectsUnknownView pins the registry feed's error path.
+func TestDialFeedRejectsUnknownView(t *testing.T) {
+	q, err := tpch.QueryByName("Q6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRegistry(q.BaseSchemas())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register("q6", q.Def); err != nil {
+		t.Fatal(err)
+	}
+	fs, err := r.ServeFeed("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	if _, err := DialFeed(fs.Addr(), "nope"); err == nil {
+		t.Fatal("unknown view subscription accepted")
+	} else if !strings.Contains(err.Error(), "unknown registered view") {
+		t.Fatalf("rejection not descriptive: %v", err)
+	}
+	sub, err := DialFeed(fs.Addr(), "q6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub.Close()
+}
+
+// TestEngineClose pins the lifecycle contract: Close is idempotent,
+// and Apply/Warm/Subscribe on a closed engine (or registry) return an
+// error wrapping ErrClosed instead of touching freed backends.
+func TestEngineClose(t *testing.T) {
+	q, err := tpch.QueryByName("Q6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bases := q.BaseSchemas()
+	eng, err := New(q.Name, q.Def, bases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := tpch.NewGenerator(0.03, 5)
+	stream := tpch.NewStream(gen, q.Tables)
+	for _, b := range stream.NextBatches(200) {
+		if err := eng.ApplyBatch(b.Table, &Batch{rel: b.Rel}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	err = eng.ApplyBatch("lineitem", &Batch{rel: mring.NewRelation(tpch.Schemas[tpch.Lineitem])})
+	if !errors.Is(err, ErrClosed) {
+		t.Fatalf("Apply after Close: %v, want ErrClosed", err)
+	}
+	if _, err := eng.Subscribe(func(Delta) {}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Subscribe after Close: %v, want ErrClosed", err)
+	}
+	// Result still serves the frozen state.
+	if eng.Result().Len() == 0 {
+		t.Fatal("Result empty after Close")
+	}
+
+	reg, err := NewRegistry(bases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register("q6", q.Def); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Apply(NewTx()); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Registry.Apply after Close: %v, want ErrClosed", err)
+	}
+	if _, err := reg.Subscribe("q6", func(Delta) {}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Registry.Subscribe after Close: %v, want ErrClosed", err)
+	}
+}
+
+// TestCloseFlushesPendingCoalesce pins that Close drains the tuner's
+// pending buffer: transactions coalesced but not yet folded must be
+// applied (and observable through Result) rather than dropped.
+func TestCloseFlushesPendingCoalesce(t *testing.T) {
+	q, err := tpch.QueryByName("Q6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New(q.Name, q.Def, q.BaseSchemas(), AutoTune(TuneConfig{InitialBatch: 1 << 20}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := tpch.NewGenerator(0.03, 5)
+	stream := tpch.NewStream(gen, q.Tables)
+	want := mring.NewRelation(tpch.Schemas[tpch.Lineitem])
+	for _, b := range stream.NextBatches(300) {
+		want.Merge(b.Rel)
+		if err := eng.ApplyBatch(b.Table, &Batch{rel: b.Rel}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The batch target is far above what we applied, so everything is
+	// still pending in the coalesce buffer.
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if eng.Result().Len() == 0 {
+		t.Fatal("coalesced transactions dropped by Close")
+	}
+}
+
+// TestIdleFlushLoop pins the controller-loop fix: a coalesced partial
+// fold left idle must be flushed by the background loop without any
+// later engine call, and Close must stop the loop (the -race run fails
+// if it keeps touching a closed engine).
+func TestIdleFlushLoop(t *testing.T) {
+	q, err := tpch.QueryByName("Q6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New(q.Name, q.Def, q.BaseSchemas(),
+		AutoTune(TuneConfig{InitialBatch: 1 << 20, IdleFlush: 10 * time.Millisecond}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	gen := tpch.NewGenerator(0.03, 5)
+	stream := tpch.NewStream(gen, q.Tables)
+	for _, b := range stream.NextBatches(100) {
+		if err := eng.ApplyBatch(b.Table, &Batch{rel: b.Rel}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		eng.beMu.Lock()
+		pending := eng.tn.pendingTuples
+		eng.beMu.Unlock()
+		if pending == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("idle-flush loop never drained the pending buffer (%d tuples left)", pending)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -71,6 +71,9 @@ func (r *Registry) Register(name string, query Expr) error {
 func (r *Registry) ensure() error {
 	r.beMu.Lock()
 	defer r.beMu.Unlock()
+	if r.closed {
+		return fmt.Errorf("ivm: registry: %w", ErrClosed)
+	}
 	if r.built {
 		return nil
 	}
@@ -78,10 +81,20 @@ func (r *Registry) ensure() error {
 	if err != nil {
 		return err
 	}
-	r.init(prog, r.cfg.backend(prog), newTuner(&r.cfg))
+	be, err := r.cfg.backend(prog)
+	if err != nil {
+		return err
+	}
+	r.init(prog, be, newTuner(&r.cfg))
 	r.built = true
 	return nil
 }
+
+// Close shuts the registry down: pending coalesced batches are flushed,
+// the backend (including remote worker connections) is released, and
+// every later Apply/Warm/Subscribe returns an error wrapping ErrClosed.
+// Close is idempotent; it returns the first flush or shutdown error.
+func (r *Registry) Close() error { return r.close() }
 
 // top resolves a registered view name to its shared top view.
 func (r *Registry) top(name string) (string, error) {

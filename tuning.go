@@ -107,6 +107,11 @@ type TuneConfig struct {
 	// is the number of folds between admission sweeps (default 32).
 	DemoteAfter, ColdRatio, ReadmitProbes int64
 	SweepEvery                            int
+	// IdleFlush is how long a coalesced partial fold may sit in the
+	// pending buffer before the controller loop flushes it anyway
+	// (default 200ms). The loop only runs on the real clock; injecting
+	// Now disables it (tests drive flushes explicitly).
+	IdleFlush time.Duration
 	// Now is the clock used to time folds; tests inject a deterministic
 	// one. Nil means time.Now.
 	Now func() time.Time
@@ -168,9 +173,20 @@ type tuner struct {
 
 	coalesced, flushes, splits, repartitions int64
 
-	// err is a flush error raised on an observation path that cannot
-	// return it (Engine.Stats, Result); surfaced on the next Apply.
+	// err is a flush error raised on a path that cannot return it
+	// (Engine.Stats, Result, the idle-flush loop); surfaced on the next
+	// Apply (or Close).
 	err error
+
+	// Controller-loop state: the loop periodically flushes a pending
+	// partial fold that no later transaction topped up. It only exists
+	// on the real clock (realClock), and Close must stop it — leaking it
+	// on an abandoned engine pins the serving (and its backend) forever.
+	realClock bool
+	idleFlush time.Duration
+	lastApply time.Time
+	loopStop  chan struct{}
+	loopDone  chan struct{}
 }
 
 func newTuner(cfg *engineConfig) *tuner {
@@ -178,13 +194,60 @@ func newTuner(cfg *engineConfig) *tuner {
 		return nil
 	}
 	tc := cfg.tuneCfg.internal()
-	return &tuner{
-		cfg:     tc,
-		ctrl:    tune.NewBatchController(tc),
-		skew:    tune.NewSkewMonitor(tc),
-		pol:     tune.NewIndexPolicy(tc),
-		pending: make(map[string]*mring.Relation),
+	idle := cfg.tuneCfg.IdleFlush
+	if idle <= 0 {
+		idle = 200 * time.Millisecond
 	}
+	return &tuner{
+		cfg:       tc,
+		ctrl:      tune.NewBatchController(tc),
+		skew:      tune.NewSkewMonitor(tc),
+		pol:       tune.NewIndexPolicy(tc),
+		pending:   make(map[string]*mring.Relation),
+		realClock: cfg.tuneCfg.Now == nil,
+		idleFlush: idle,
+	}
+}
+
+// startLoop spawns the idle-flush controller loop. Only the real clock
+// gets a goroutine: under an injected clock (tests) time is virtual and
+// the loop could never observe idleness deterministically.
+func (tn *tuner) startLoop(s *serving) {
+	if !tn.realClock {
+		return
+	}
+	tn.loopStop = make(chan struct{})
+	tn.loopDone = make(chan struct{})
+	go func() {
+		defer close(tn.loopDone)
+		tick := time.NewTicker(tn.idleFlush / 2)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tn.loopStop:
+				return
+			case <-tick.C:
+			}
+			s.beMu.Lock()
+			if !s.closed && tn.pendingTuples > 0 && time.Since(tn.lastApply) >= tn.idleFlush {
+				if err := tn.drainLocked(s, true); err != nil && tn.err == nil {
+					tn.err = err
+				}
+			}
+			s.beMu.Unlock()
+		}
+	}()
+}
+
+// stopLoop stops the idle-flush loop and waits for it to exit. Must be
+// called without serving.beMu held — the loop takes it per tick.
+func (tn *tuner) stopLoop() {
+	if tn.loopStop == nil {
+		return
+	}
+	close(tn.loopStop)
+	<-tn.loopDone
+	tn.loopStop = nil
 }
 
 // applyLocked processes one validated transaction under serving.beMu.
@@ -194,6 +257,9 @@ func newTuner(cfg *engineConfig) *tuner {
 // transaction is absorbed into the pending buffer, which drains in
 // target-sized folds whenever at least one full fold has accumulated.
 func (tn *tuner) applyLocked(s *serving, batches []compile.TableBatch, capture []string) (map[string]*mring.Relation, error) {
+	if tn.realClock {
+		tn.lastApply = time.Now()
+	}
 	if len(capture) > 0 {
 		if err := tn.drainLocked(s, true); err != nil {
 			return nil, err
