@@ -23,7 +23,7 @@ BENCH_BASELINE_FLAG := $(if $(wildcard $(BENCH_BASELINE)),-baseline $(BENCH_BASE
 STATICCHECK := honnef.co/go/tools/cmd/staticcheck@2025.1.1
 STATICCHECK_STRICT ?= 0
 
-.PHONY: build test lint fuzz bench bench-json api check-api soak proc-smoke ci
+.PHONY: build test lint fuzz bench bench-json api check-api soak proc-smoke crash-smoke ci
 
 build:
 	$(GO) build ./...
@@ -51,6 +51,7 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz='^FuzzHashColsKeyEqual$$' -fuzztime=30s ./internal/mring
 	$(GO) test -run='^$$' -fuzz='^FuzzColBatchDecode$$' -fuzztime=30s ./internal/pool
 	$(GO) test -run='^$$' -fuzz='^FuzzFrameDecode$$' -fuzztime=30s ./internal/net
+	$(GO) test -run='^$$' -fuzz='^FuzzWALDecode$$' -fuzztime=30s ./internal/store
 
 # proc-smoke runs the process-cluster smoke gate: builds the real worker
 # binary, spawns 4 worker processes plus a driver on localhost, and
@@ -59,6 +60,16 @@ fuzz:
 proc-smoke:
 	$(GO) build -o bin/ivmworker ./cmd/ivmworker
 	IVM_WORKER_BIN=$(CURDIR)/bin/ivmworker $(GO) test -race -run '^TestProcessClusterSmoke$$' -v .
+
+# crash-smoke runs the durability crash gate: builds the real victim
+# binary (cmd/ivmcrash), SIGKILLs it at a randomized committed
+# transaction, reopens its durable directory in-process, and asserts
+# the recovered Result and the continued changefeed are bitwise-equal
+# to an uninterrupted oracle (same step as the CI job; the kill point's
+# RNG seed is logged for reproduction).
+crash-smoke:
+	$(GO) build -o bin/ivmcrash ./cmd/ivmcrash
+	IVM_CRASH_BIN=$(CURDIR)/bin/ivmcrash $(GO) test -race -run '^TestCrashSmoke$$' -v .
 
 bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x . ./internal/bench/

@@ -1,0 +1,142 @@
+package main
+
+// Durability measurements for the tier-2 report: WAL append throughput
+// under each fsync policy, and recovery time as a function of the
+// WAL-tail length — the paired full-log/checkpoint-bounded rows show
+// that checkpointing bounds recovery instead of replaying history.
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	ivm "repro"
+	"repro/internal/store"
+	"repro/internal/tpch"
+)
+
+// benchWALAppend measures committed-record append throughput (records
+// per second) of the WAL under one fsync policy. Each record carries a
+// ~4 KiB single-table payload, about the size of a 50-row lineitem
+// transaction on the engine path.
+func benchWALAppend(syncEvery int) (float64, error) {
+	dir, err := os.MkdirTemp("", "ivm-walbench-*")
+	if err != nil {
+		return 0, err
+	}
+	defer os.RemoveAll(dir)
+	st, _, err := store.Open(dir, store.Options{SyncEvery: syncEvery})
+	if err != nil {
+		return 0, err
+	}
+	defer st.Close()
+	payload := make([]byte, 4096)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	rec := store.Record{Kind: store.RecTx, Tables: []store.TableFrag{
+		{Table: tpch.Lineitem, Buckets: 64, Payload: payload},
+	}}
+	var appendErr error
+	ops := measure(300*time.Millisecond, 1, func() {
+		if err := st.Append(rec); err != nil && appendErr == nil {
+			appendErr = err
+		}
+	})
+	return ops, appendErr
+}
+
+// benchRecovery streams txs committed transactions into a durable Q6
+// engine, abandons it un-Closed (a crash), and times the reopen. With
+// every == 0 checkpoints never fire, so the whole log replays; with a
+// positive period only the tail since the last snapshot does. Returns
+// the median reopen time over three crashes and the replayed tail
+// length (identical across runs — the stream is deterministic).
+func benchRecovery(sf float64, txRows, every int) (millis float64, replayed int, err error) {
+	q, err := tpch.QueryByName("Q6")
+	if err != nil {
+		return 0, 0, err
+	}
+	var opts []ivm.DurOpt
+	if every > 0 {
+		opts = append(opts, ivm.CheckpointEvery(every))
+	}
+	times := make([]float64, 3)
+	for i := range times {
+		dir, err := os.MkdirTemp("", "ivm-recbench-*")
+		if err != nil {
+			return 0, 0, err
+		}
+		defer os.RemoveAll(dir)
+		e, err := ivm.New(q.Name, q.Def, q.BaseSchemas(), ivm.Durable(dir, opts...))
+		if err != nil {
+			return 0, 0, err
+		}
+		stream := tpch.NewStream(tpch.NewGenerator(sf, 1), q.Tables)
+		for {
+			tx := e.NewTx()
+			n := 0
+			for ; n < txRows; n++ {
+				ev, ok := stream.Next()
+				if !ok {
+					break
+				}
+				if err := tx.Insert(ev.Table, ev.Tuple); err != nil {
+					return 0, 0, err
+				}
+			}
+			if n == 0 {
+				break
+			}
+			if err := e.Apply(tx); err != nil {
+				return 0, 0, err
+			}
+		}
+		// Crash: the engine is abandoned without Close, so no final
+		// checkpoint hides the replay cost being measured.
+		start := time.Now()
+		re, err := ivm.New(q.Name, q.Def, q.BaseSchemas(), ivm.Durable(dir, opts...))
+		if err != nil {
+			return 0, 0, err
+		}
+		times[i] = float64(time.Since(start).Microseconds()) / 1000
+		replayed = re.Stats().Durability.Recovery.ReplayedRecords
+		re.Close()
+	}
+	sort.Float64s(times)
+	return times[1], replayed, nil
+}
+
+// appendDurabilityResults runs the durability benchmarks and appends
+// their rows to the report.
+func appendDurabilityResults(rep *Report, sf float64) error {
+	for _, p := range []struct {
+		name string
+		sync int
+	}{{"fsync", 1}, {"group-8", 8}, {"nofsync", -1}} {
+		ops, err := benchWALAppend(p.sync)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("WALAppend/%s: %.0f records/sec\n", p.name, ops)
+		rep.Results = append(rep.Results, Result{Name: "WALAppend/" + p.name, OpsPerSec: ops})
+	}
+	for _, p := range []struct {
+		name  string
+		every int
+	}{{"full-log", 0}, {"checkpoint-bounded", 25}} {
+		ms, replayed, err := benchRecovery(sf, 20, p.every)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Recovery/%s: %.1f ms reopen, %d records replayed\n", p.name, ms, replayed)
+		rep.Results = append(rep.Results, Result{
+			Name:            "Recovery/" + p.name,
+			Query:           "Q6",
+			Millis:          ms,
+			ReplayedRecords: replayed,
+		})
+	}
+	return nil
+}

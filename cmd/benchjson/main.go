@@ -47,6 +47,11 @@ type Result struct {
 	TuplesPerSec  float64 `json:"tuples_per_sec,omitempty"`
 	OpsPerSec     float64 `json:"ops_per_sec,omitempty"`
 	ShuffledBytes int64   `json:"shuffled_bytes,omitempty"`
+	// Millis and ReplayedRecords describe the Recovery rows: reopen wall
+	// time of a crashed durable directory and the WAL-tail length it
+	// replayed.
+	Millis          float64 `json:"millis,omitempty"`
+	ReplayedRecords int     `json:"replayed_records,omitempty"`
 }
 
 // Report is the file layout of BENCH_<pr>.json.
@@ -1037,6 +1042,11 @@ func main() {
 	}
 	fmt.Printf("%s: %.0f tuples/sec, %d shuffled bytes\n", ns.Name, ns.TuplesPerSec, ns.ShuffledBytes)
 	rep.Results = append(rep.Results, ns)
+
+	if err := appendDurabilityResults(&rep, *sf); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
 
 	b, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

@@ -1,0 +1,85 @@
+// Command ivmcrash is the crash-smoke victim: it streams a deterministic
+// TPC-H workload into a durable engine, committing one transaction per
+// -rows events and printing "APPLIED <n>" after each commit is acked, so
+// a harness can SIGKILL it at an arbitrary committed transaction and
+// verify that reopening the directory recovers the exact acked prefix.
+//
+// The stream is fully determined by (-query, -sf, -seed, -rows): a
+// harness regenerates the identical transaction sequence in-process to
+// build its uninterrupted oracle. With the default sync-every-commit
+// WAL policy, every printed APPLIED line is durable before it is
+// printed; recovery may only ever be ahead of the harness's last read
+// line (commits whose print was cut off by the kill), never behind it.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	ivm "repro"
+	"repro/internal/tpch"
+)
+
+func main() {
+	dir := flag.String("dir", "", "durable state directory (required)")
+	query := flag.String("query", "Q3", "TPC-H query to maintain")
+	sf := flag.Float64("sf", 0.1, "TPC-H scale factor")
+	seed := flag.Int64("seed", 5, "stream generator seed")
+	rows := flag.Int("rows", 50, "events per committed transaction")
+	ckptEvery := flag.Int("checkpoint-every", 5, "auto-checkpoint period in transactions")
+	flag.Parse()
+	if *dir == "" {
+		fmt.Fprintln(os.Stderr, "ivmcrash: -dir is required")
+		os.Exit(2)
+	}
+
+	q, err := tpch.QueryByName(*query)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ivmcrash: %v\n", err)
+		os.Exit(2)
+	}
+	e, err := ivm.New(q.Name, q.Def, q.BaseSchemas(),
+		ivm.Durable(*dir, ivm.CheckpointEvery(*ckptEvery)))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ivmcrash: open: %v\n", err)
+		os.Exit(1)
+	}
+
+	// Unbuffered progress: the harness kills us mid-stream, so each
+	// APPLIED line must hit the pipe as soon as its commit is acked.
+	out := bufio.NewWriter(os.Stdout)
+	stream := tpch.NewStream(tpch.NewGenerator(*sf, *seed), q.Tables)
+	n := 0
+	for {
+		tx := e.NewTx()
+		events := 0
+		for ; events < *rows; events++ {
+			ev, ok := stream.Next()
+			if !ok {
+				break
+			}
+			if err := tx.Insert(ev.Table, ev.Tuple); err != nil {
+				fmt.Fprintf(os.Stderr, "ivmcrash: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if events == 0 {
+			break
+		}
+		if err := e.Apply(tx); err != nil {
+			fmt.Fprintf(os.Stderr, "ivmcrash: apply: %v\n", err)
+			os.Exit(1)
+		}
+		n++
+		fmt.Fprintf(out, "APPLIED %d\n", n)
+		out.Flush()
+	}
+	if err := e.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "ivmcrash: close: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(out, "DONE %d\n", n)
+	out.Flush()
+}

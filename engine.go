@@ -36,6 +36,9 @@ type engineConfig struct {
 	singleTuple bool
 	autoTune    bool
 	tuneCfg     TuneConfig
+	durSet      bool
+	durDir      string
+	dur         durConfig
 }
 
 // Option configures an Engine at construction.
@@ -108,6 +111,17 @@ func (cfg *engineConfig) validate() error {
 			return fmt.Errorf("ivm: Remote needs at least one worker address")
 		}
 	}
+	if cfg.durSet {
+		if cfg.durDir == "" {
+			return fmt.Errorf("ivm: Durable needs a directory")
+		}
+		if cfg.dur.ckptEvery < 0 {
+			return fmt.Errorf("ivm: CheckpointEvery wants a positive transaction count, got %d", cfg.dur.ckptEvery)
+		}
+		if cfg.dur.retain < 0 {
+			return fmt.Errorf("ivm: RetainCheckpoints wants a positive count, got %d", cfg.dur.retain)
+		}
+	}
 	return nil
 }
 
@@ -162,6 +176,15 @@ type backend interface {
 	// (false, nil) on the local backend. Must only run between
 	// transactions.
 	Rebalance() (bool, error)
+	// SnapshotState captures the backend's entire materialized state —
+	// every relation's contents plus its physical bucket-table size — as
+	// a checkpoint whose restore is layout-exact (same chains, same
+	// iteration order, therefore bitwise-identical later float folds).
+	SnapshotState() (*cluster.Checkpoint, error)
+	// RestoreState installs a checkpoint into a freshly built backend
+	// (the recovery path). The checkpoint must come from the same
+	// program and deployment shape.
+	RestoreState(cp *cluster.Checkpoint) error
 	// Close releases backend resources (worker connections on the
 	// process cluster). Reads may still be served afterwards.
 	Close() error
@@ -183,6 +206,10 @@ type serving struct {
 	// tn is the self-tuning controller loop (nil without AutoTune).
 	// Guarded by beMu.
 	tn *tuner
+	// dur is the durability runtime (nil without the Durable option):
+	// the write-ahead log appended to before every ack and the
+	// checkpoint cadence that truncates it. Guarded by beMu.
+	dur *durable
 
 	// closed is set by Close; write paths (Apply, Warm, Subscribe)
 	// reject with ErrClosed afterwards, read paths keep serving the
@@ -257,6 +284,13 @@ func New(name string, query Expr, bases map[string]Schema, opts ...Option) (*Eng
 		return nil, err
 	}
 	e := &Engine{name: name}
+	// Recovery runs before init starts the tuner loop, so nothing else
+	// can touch the backend while the checkpoint and WAL tail replay.
+	e.prog, e.be = prog, be
+	if err := e.attachDurability(&cfg); err != nil {
+		be.Close()
+		return nil, err
+	}
 	e.init(prog, be, newTuner(&cfg))
 	return e, nil
 }
@@ -288,6 +322,20 @@ func (s *serving) close() error {
 			err = derr
 		}
 	}
+	if s.dur != nil {
+		// Clean shutdown ends with a final checkpoint, so reopening the
+		// directory recovers with zero WAL replay. Skipped if durability
+		// already failed or the pre-close flush did — a checkpoint must
+		// only describe state every logged transaction reached.
+		if err == nil && s.dur.err == nil {
+			if cerr := s.checkpointLocked(); err == nil {
+				err = cerr
+			}
+		}
+		if cerr := s.dur.st.Close(); err == nil {
+			err = cerr
+		}
+	}
 	s.closed = true
 	if s.be != nil {
 		if cerr := s.be.Close(); err == nil {
@@ -306,11 +354,21 @@ func (s *serving) close() error {
 
 // Close shuts the engine down: the AutoTune controller loop (if any)
 // stops, coalesced transactions flush, and the backend releases its
-// resources — on a Remote engine the worker connections close. After
-// Close, Apply/Warm/Subscribe return ErrClosed while Result, Stats, and
+// resources — on a Remote engine the worker connections close. On a
+// Durable engine the WAL flushes and a final checkpoint is written, so
+// reopening the directory recovers with zero replay. After Close,
+// Apply/Warm/Subscribe return ErrClosed while Result, Stats, and
 // Metrics keep serving the final state. Close is idempotent; it returns
 // the first error from the final flush or the backend teardown.
 func (e *Engine) Close() error { return e.close() }
+
+// Checkpoint forces a durability checkpoint now: pending coalesced
+// transactions flush, the backend's entire state snapshots to a new
+// versioned checkpoint file, and the WAL rolls to a fresh segment (old
+// generations are garbage-collected past the retention window). A later
+// recovery replays only transactions applied after this call. Returns
+// an error on a non-durable engine.
+func (e *Engine) Checkpoint() error { return e.forceCheckpoint() }
 
 // Program returns the compiled maintenance program (its String method
 // renders the view hierarchy and triggers).
@@ -361,6 +419,7 @@ func (s *serving) statsSnapshot() Stats {
 	if s.tn != nil {
 		st.Tuning = s.tn.snapshot()
 	}
+	st.Durability = s.durabilityStatsLocked()
 	return st
 }
 
@@ -480,6 +539,15 @@ func (s *serving) applyTx(tx *Tx) error {
 			return err
 		}
 	}
+	if s.dur != nil {
+		// Write-ahead: the transaction is in the log (and, per the sync
+		// policy, on disk) before it folds or acks. A crash after this
+		// point replays it; a WAL failure rejects it un-applied.
+		if err := s.logTxLocked(batches); err != nil {
+			s.beMu.Unlock()
+			return err
+		}
+	}
 	capture := s.captureList()
 	var deltas map[string]*mring.Relation
 	var err error
@@ -487,6 +555,9 @@ func (s *serving) applyTx(tx *Tx) error {
 		deltas, err = s.tn.applyLocked(s, batches, capture)
 	} else {
 		deltas, err = s.be.ApplyTx(batches, capture)
+	}
+	if err == nil && s.dur != nil {
+		err = s.maybeCheckpointLocked()
 	}
 	s.beMu.Unlock()
 	if err != nil {
@@ -567,7 +638,16 @@ func (s *serving) warm(tables map[string]*Batch) error {
 			return err
 		}
 	}
+	if s.dur != nil {
+		if err := s.logWarmLocked(init); err != nil {
+			s.beMu.Unlock()
+			return err
+		}
+	}
 	deltas, err := s.be.Warm(init, s.captureList())
+	if err == nil && s.dur != nil {
+		err = s.maybeCheckpointLocked()
+	}
 	s.beMu.Unlock()
 	if err != nil {
 		return err
@@ -889,6 +969,44 @@ func (lb *localBackend) ForEachRelation(f func(name string, r *mring.Relation)) 
 
 func (lb *localBackend) Rebalance() (bool, error) { return false, nil }
 
+// SnapshotState captures every executor view — including transient
+// ones, whose retained table capacity shapes later fold layouts — as a
+// driver-only checkpoint. The local engine does not retain base tables,
+// so the views are its complete recoverable state.
+func (lb *localBackend) SnapshotState() (*cluster.Checkpoint, error) {
+	cp := &cluster.Checkpoint{Driver: map[string]cluster.Frag{}}
+	lb.ex.ForEachViewAll(func(name string, r *mring.Relation) {
+		if r == nil || (r.Len() == 0 && r.TableSize() == 0) {
+			return
+		}
+		f := cluster.Frag{Schema: r.Schema().Clone(), Buckets: r.TableSize(), Payload: inet.EncodeRelationPlain(r)}
+		cp.Driver[name] = f
+		cp.Bytes += int64(len(f.Payload))
+	})
+	return cp, nil
+}
+
+// RestoreState rebuilds the executor's views layout-exact from a
+// checkpoint. The views already exist empty (bound into the evaluation
+// environment at construction), so fragments restore into them in
+// place; every name is validated against the program first.
+func (lb *localBackend) RestoreState(cp *cluster.Checkpoint) error {
+	if len(cp.Workers) > 0 {
+		return fmt.Errorf("ivm: checkpoint holds %d worker states; it was taken on a distributed backend", len(cp.Workers))
+	}
+	for name := range cp.Driver {
+		if lb.ex.LookupView(name) == nil {
+			return fmt.Errorf("ivm: checkpoint names unknown view %q; the program changed since it was written", name)
+		}
+	}
+	for name, f := range cp.Driver {
+		if err := inet.RestoreIntoExact(lb.ex.LookupView(name), f.Payload, f.Buckets); err != nil {
+			return fmt.Errorf("ivm: restore view %q: %w", name, err)
+		}
+	}
+	return nil
+}
+
 func (lb *localBackend) Close() error { return nil }
 
 // clusterRuntime is the cluster seam distBackend drives. The simulated
@@ -905,6 +1023,8 @@ type clusterRuntime interface {
 	EvalStats() eval.Stats
 	WorkerTimings() []cluster.WorkerTiming
 	ForEachRelation(f func(name string, r *mring.Relation))
+	CheckpointState() (*cluster.Checkpoint, error)
+	RestoreState(cp *cluster.Checkpoint) error
 	Close() error
 }
 
@@ -1076,6 +1196,34 @@ func (db *distBackend) WorkerTimings() []cluster.WorkerTiming { return db.cl.Wor
 
 func (db *distBackend) ForEachRelation(f func(name string, r *mring.Relation)) {
 	db.cl.ForEachRelation(f)
+}
+
+// SnapshotState captures every node's fragments (driver and workers)
+// with the deployed partitioning, so a restore re-warms the same
+// deployment shape even after a skew-feedback repartition.
+func (db *distBackend) SnapshotState() (*cluster.Checkpoint, error) {
+	cp, err := db.cl.CheckpointState()
+	if err != nil {
+		return nil, err
+	}
+	cp.Parts = db.parts.Clone()
+	return cp, nil
+}
+
+// RestoreState installs the checkpoint across the cluster, then adopts
+// its recorded partitioning: if the state was captured under a
+// placement the tuner had moved to, the distributed trigger programs
+// recompile against it so maintenance keeps matching the restored
+// fragment placement.
+func (db *distBackend) RestoreState(cp *cluster.Checkpoint) error {
+	if err := db.cl.RestoreState(cp); err != nil {
+		return err
+	}
+	if cp.Parts != nil && !cp.Parts.Equal(db.parts) {
+		db.parts = cp.Parts
+		db.dprogs = dist.CompileProgram(db.prog, cp.Parts, dist.O3)
+	}
+	return nil
 }
 
 // persistentViews visits the program's persistent (non-transient,

@@ -1,9 +1,12 @@
 package cluster
 
 import (
+	"bytes"
+	"encoding/gob"
 	"fmt"
 	"time"
 
+	"repro/internal/dist"
 	"repro/internal/mring"
 	inet "repro/internal/net"
 )
@@ -17,13 +20,67 @@ import (
 // columnar-only encoding silently dropped mixed-kind columns, so a
 // restore of such a view produced garbage); its size approximates the
 // HDFS write.
+//
+// Each fragment also records the relation's bucket-table size, so
+// Restore rebuilds the exact physical layout (same chains, same Foreach
+// enumeration order) via inet.RestoreIntoExact. Layout exactness is what
+// lets a recovered engine keep producing bitwise-identical float folds:
+// every later maintenance statement enumerates restored state in the
+// same order the never-crashed engine would have.
 type Checkpoint struct {
 	// Workers holds, per worker, the encoded fragments by name.
-	Workers []map[string][]byte
+	Workers []map[string]Frag
 	// Driver holds the driver's relations.
-	Driver map[string][]byte
+	Driver map[string]Frag
+	// Parts records the placement the fragments were captured under, so
+	// a restore re-deploys against the same partitioning even when a
+	// skew-feedback repartition had moved it off the compile-time
+	// default. Nil on legacy checkpoints (which predate repartitioning
+	// surviving recovery) and on single-node snapshots.
+	Parts dist.PartInfo
 	// Bytes is the total snapshot size.
 	Bytes int64
+}
+
+// Frag is one relation's snapshot: its schema (payloads of empty
+// relations are nil and carry none), its bucket-table size (0 when the
+// relation never allocated one), and its rows in Foreach order.
+type Frag struct {
+	Schema  mring.Schema
+	Buckets int
+	Payload []byte
+}
+
+// snapFrag encodes one relation. Empty relations with allocated tables
+// still snapshot (capacity shapes future layout); nil/never-touched ones
+// are skipped by callers.
+func snapFrag(r *mring.Relation) Frag {
+	return Frag{Schema: r.Schema().Clone(), Buckets: r.TableSize(), Payload: inet.EncodeRelationPlain(r)}
+}
+
+// worthSnapshot reports whether a relation carries restorable state.
+func worthSnapshot(r *mring.Relation) bool {
+	return r != nil && (r.Len() > 0 || r.TableSize() > 0)
+}
+
+// restoreFrag rebuilds a relation exactly. Legacy fragments (Buckets 0
+// with rows, from pre-versioned checkpoints) rebuild contents in wire
+// order without the layout guarantee.
+func restoreFrag(name string, f Frag) (*mring.Relation, error) {
+	if f.Buckets == 0 && len(f.Payload) > 0 {
+		p, err := inet.DecodePayload(f.Payload)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: corrupt checkpoint for %q: %w", name, err)
+		}
+		r := mring.NewRelation(p.Schema)
+		p.Foreach(r.Add)
+		return r, nil
+	}
+	r, err := inet.RestoreRelationExact(f.Payload, f.Buckets, f.Schema)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: corrupt checkpoint for %q: %w", name, err)
+	}
+	return r, nil
 }
 
 // CheckpointCost models the virtual time to write the snapshot, charged
@@ -34,7 +91,7 @@ func (c *Cluster) CheckpointCost(cp *Checkpoint) time.Duration {
 	for _, w := range cp.Workers {
 		var n int64
 		for _, b := range w {
-			n += int64(len(b))
+			n += int64(len(b.Payload))
 		}
 		if n > perWorker {
 			perWorker = n
@@ -44,26 +101,29 @@ func (c *Cluster) CheckpointCost(cp *Checkpoint) time.Duration {
 		time.Duration(float64(perWorker)/c.cfg.BandwidthBytesPerSec*float64(time.Second))
 }
 
-// Checkpoint snapshots all materialized state.
+// Checkpoint snapshots all materialized state — every node's fragments,
+// including empty-but-sized ones, so Restore reproduces each node's
+// physical layout exactly.
 func (c *Cluster) Checkpoint() *Checkpoint {
-	cp := &Checkpoint{Driver: map[string][]byte{}}
-	encode := func(n *node) map[string][]byte {
-		out := map[string][]byte{}
+	cp := &Checkpoint{Driver: map[string]Frag{}}
+	encode := func(n *node) map[string]Frag {
+		out := map[string]Frag{}
 		for name, r := range n.rels {
-			if r == nil || r.Len() == 0 {
+			if !worthSnapshot(r) {
 				continue
 			}
-			b := inet.EncodeRelationPlain(r)
-			out[name] = b
-			cp.Bytes += int64(len(b))
+			f := snapFrag(r)
+			out[name] = f
+			cp.Bytes += int64(len(f.Payload))
 		}
 		return out
 	}
 	cp.Driver = encode(c.driver)
-	cp.Workers = make([]map[string][]byte, len(c.workers))
+	cp.Workers = make([]map[string]Frag, len(c.workers))
 	for i, w := range c.workers {
 		cp.Workers[i] = encode(w)
 	}
+	cp.Parts = c.parts.Clone()
 	return cp
 }
 
@@ -78,15 +138,13 @@ func (c *Cluster) Restore(cp *Checkpoint) error {
 	// Checkpoints may come from unreliable storage, so decoding goes
 	// through the bounds-guarded payload decoder: a corrupt or hostile
 	// snapshot returns an error here, it never panics mid-restore.
-	decode := func(enc map[string][]byte) (map[string]*mring.Relation, error) {
+	decode := func(enc map[string]Frag) (map[string]*mring.Relation, error) {
 		out := map[string]*mring.Relation{}
-		for name, b := range enc {
-			p, err := inet.DecodePayload(b)
+		for name, f := range enc {
+			r, err := restoreFrag(name, f)
 			if err != nil {
-				return nil, fmt.Errorf("cluster: corrupt checkpoint for %q: %w", name, err)
+				return nil, err
 			}
-			r := mring.NewRelation(p.Schema)
-			p.Foreach(r.Add)
 			out[name] = r
 		}
 		return out, nil
@@ -109,8 +167,19 @@ func (c *Cluster) Restore(cp *Checkpoint) error {
 	for i := range c.workers {
 		c.workers[i].rels = workers[i]
 	}
+	if cp.Parts != nil {
+		c.parts = cp.Parts
+	}
 	return nil
 }
+
+// CheckpointState and RestoreState adapt the simulated cluster to the
+// runtime snapshot seam the durable engine uses (the process cluster
+// implements the same pair over the wire).
+func (c *Cluster) CheckpointState() (*Checkpoint, error) { return c.Checkpoint(), nil }
+
+// RestoreState installs a checkpoint into the cluster.
+func (c *Cluster) RestoreState(cp *Checkpoint) error { return c.Restore(cp) }
 
 // KillWorker simulates a worker failure by discarding its state. A
 // subsequent Restore recovers the deployment from the last checkpoint.
@@ -119,4 +188,65 @@ func (c *Cluster) KillWorker(i int) {
 		panic("cluster: no such worker")
 	}
 	c.workers[i] = newNode()
+}
+
+// Checkpoint serialization. The encoding carries a magic + format
+// version so drift is detected as a descriptive error, never a garbage
+// decode. Version 1 is the Frag-based body above; a body WITHOUT the
+// magic is decoded as the pre-versioned PR 9 format (bare fragment
+// payloads, no bucket sizes), whose restores are contents-exact but not
+// layout-exact.
+const (
+	ckptMagic   = "IVCP"
+	ckptVersion = 1
+)
+
+// legacyCheckpoint is the unversioned PR 9 in-memory shape.
+type legacyCheckpoint struct {
+	Workers []map[string][]byte
+	Driver  map[string][]byte
+	Bytes   int64
+}
+
+// EncodeCheckpoint serializes a checkpoint with the versioned header.
+func EncodeCheckpoint(cp *Checkpoint) ([]byte, error) {
+	var buf bytes.Buffer
+	buf.WriteString(ckptMagic)
+	buf.WriteByte(ckptVersion)
+	if err := gob.NewEncoder(&buf).Encode(cp); err != nil {
+		return nil, fmt.Errorf("cluster: encode checkpoint: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeCheckpoint parses a serialized checkpoint. Bodies carrying the
+// magic must name a known version; bodies without it fall back to the
+// legacy unversioned decode.
+func DecodeCheckpoint(b []byte) (*Checkpoint, error) {
+	if len(b) > len(ckptMagic) && string(b[:len(ckptMagic)]) == ckptMagic {
+		if v := b[len(ckptMagic)]; v != ckptVersion {
+			return nil, fmt.Errorf("cluster: unsupported checkpoint format version %d (have %d)", v, ckptVersion)
+		}
+		var cp Checkpoint
+		if err := gob.NewDecoder(bytes.NewReader(b[len(ckptMagic)+1:])).Decode(&cp); err != nil {
+			return nil, fmt.Errorf("cluster: corrupt checkpoint body: %w", err)
+		}
+		return &cp, nil
+	}
+	var legacy legacyCheckpoint
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&legacy); err != nil {
+		return nil, fmt.Errorf("cluster: not a checkpoint (no magic, and legacy decode failed): %w", err)
+	}
+	cp := &Checkpoint{Driver: map[string]Frag{}, Bytes: legacy.Bytes}
+	for name, p := range legacy.Driver {
+		cp.Driver[name] = Frag{Payload: p}
+	}
+	cp.Workers = make([]map[string]Frag, len(legacy.Workers))
+	for i, w := range legacy.Workers {
+		cp.Workers[i] = map[string]Frag{}
+		for name, p := range w {
+			cp.Workers[i][name] = Frag{Payload: p}
+		}
+	}
+	return cp, nil
 }

@@ -381,7 +381,8 @@ func TestRestoreRejectsCorruptSnapshot(t *testing.T) {
 	}
 	cp := cl.Checkpoint()
 	for name, b := range cp.Driver {
-		cp.Driver[name] = b[:len(b)/2] // truncate
+		b.Payload = b.Payload[:len(b.Payload)/2] // truncate
+		cp.Driver[name] = b
 	}
 	before := cl.ViewContents("QX").Get(mring.Tuple{})
 	if err := cl.Restore(cp); err == nil {

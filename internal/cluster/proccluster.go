@@ -126,6 +126,78 @@ func (pc *ProcCluster) Close() error {
 	return first
 }
 
+// CheckpointState snapshots the whole process cluster's state for a
+// durability checkpoint: the driver's fragments locally, every worker's
+// over opSnapshot, each with bucket-table sizes for layout-exact restore.
+func (pc *ProcCluster) CheckpointState() (*Checkpoint, error) {
+	if pc.err != nil {
+		return nil, pc.err
+	}
+	cp := &Checkpoint{Driver: map[string]Frag{}}
+	for name, r := range pc.driver.rels {
+		if !worthSnapshot(r) {
+			continue
+		}
+		f := snapFrag(r)
+		cp.Driver[name] = f
+		cp.Bytes += int64(len(f.Payload))
+	}
+	resps := make([]snapshotResp, len(pc.conns))
+	if err := pc.fanout(func(i int, c inet.Conn) error {
+		return call(c, opSnapshot, &snapshotReq{}, &resps[i])
+	}); err != nil {
+		return nil, pc.fail(err)
+	}
+	cp.Workers = make([]map[string]Frag, len(pc.conns))
+	for i := range resps {
+		cp.Workers[i] = resps[i].Frags
+		if cp.Workers[i] == nil {
+			cp.Workers[i] = map[string]Frag{}
+		}
+		for _, f := range cp.Workers[i] {
+			cp.Bytes += int64(len(f.Payload))
+		}
+	}
+	cp.Parts = pc.parts.Clone()
+	return cp, nil
+}
+
+// RestoreState replaces the whole process cluster's state with a
+// checkpoint: the driver's fragments rebuild locally and each worker
+// re-warms from its recovered fragments over opRestore. The worker count
+// must match the snapshot (recovery restarts the same deployment).
+func (pc *ProcCluster) RestoreState(cp *Checkpoint) error {
+	if pc.err != nil {
+		return pc.err
+	}
+	if len(cp.Workers) != len(pc.conns) {
+		return fmt.Errorf("cluster: checkpoint has %d workers, cluster has %d", len(cp.Workers), len(pc.conns))
+	}
+	// Validate and rebuild the driver side fully before touching state.
+	driver := make(map[string]*mring.Relation, len(cp.Driver))
+	for name, f := range cp.Driver {
+		r, err := restoreFrag(name, f)
+		if err != nil {
+			return err
+		}
+		driver[name] = r
+	}
+	if err := pc.fanout(func(i int, c inet.Conn) error {
+		return call(c, opRestore, &restoreReq{Frags: cp.Workers[i]}, &restoreResp{})
+	}); err != nil {
+		return pc.fail(err)
+	}
+	pc.driver.rels = driver
+	for name, r := range driver {
+		pc.schemas[name] = r.Schema()
+	}
+	if cp.Parts != nil {
+		pc.parts = cp.Parts
+	}
+	pc.committed = map[string]*mring.Relation{}
+	return nil
+}
+
 // fail poisons the cluster with the first error and returns the poison.
 func (pc *ProcCluster) fail(err error) error {
 	if pc.err == nil {

@@ -40,6 +40,12 @@ const (
 	opPartitionOut byte = 6
 	// opFetch returns a shard fragment's contents (gather, view reads).
 	opFetch byte = 7
+	// opSnapshot returns every fragment the shard holds, with bucket-table
+	// sizes, for a durability checkpoint.
+	opSnapshot byte = 8
+	// opRestore replaces the shard's entire state with checkpoint
+	// fragments, rebuilt layout-exact (worker re-warm during recovery).
+	opRestore byte = 9
 
 	// opOK carries a gob response body; opErr carries an error string.
 	opOK  byte = 64
@@ -141,6 +147,21 @@ type fetchResp struct {
 	Present bool
 	Payload []byte
 }
+
+type snapshotReq struct{}
+
+type snapshotResp struct {
+	// Frags holds every restorable fragment on the shard (contents plus
+	// bucket-table size; empty-but-sized relations included, since
+	// retained capacity shapes future layout).
+	Frags map[string]Frag
+}
+
+type restoreReq struct {
+	Frags map[string]Frag
+}
+
+type restoreResp struct{}
 
 func init() {
 	// The statement AST crosses the wire inside runBlockReq; register

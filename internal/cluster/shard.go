@@ -83,6 +83,18 @@ func (sh *Shard) Handle(op byte, body []byte) (any, error) {
 			return nil, err
 		}
 		return sh.fetch(&req)
+	case opSnapshot:
+		var req snapshotReq
+		if err := decodeMsg(body, &req); err != nil {
+			return nil, err
+		}
+		return sh.snapshot()
+	case opRestore:
+		var req restoreReq
+		if err := decodeMsg(body, &req); err != nil {
+			return nil, err
+		}
+		return sh.restore(&req)
 	default:
 		return nil, fmt.Errorf("cluster: unknown op %d", op)
 	}
@@ -266,6 +278,45 @@ func (sh *Shard) fetch(req *fetchReq) (*fetchResp, error) {
 		return &fetchResp{}, nil
 	}
 	return &fetchResp{Present: true, Payload: inet.EncodeRelationPlain(r)}, nil
+}
+
+// snapshot returns every restorable fragment on the shard with its
+// bucket-table size — the worker half of a durability checkpoint.
+func (sh *Shard) snapshot() (*snapshotResp, error) {
+	if err := sh.setup(); err != nil {
+		return nil, err
+	}
+	resp := &snapshotResp{Frags: map[string]Frag{}}
+	for name, r := range sh.node.rels {
+		if !worthSnapshot(r) {
+			continue
+		}
+		resp.Frags[name] = snapFrag(r)
+	}
+	return resp, nil
+}
+
+// restore replaces the shard's entire state with checkpoint fragments,
+// rebuilt layout-exact (the worker re-warm step of crash recovery). Like
+// the in-process Restore, every fragment validates before any state is
+// touched, so a corrupt checkpoint never leaves the shard half-restored.
+func (sh *Shard) restore(req *restoreReq) (*restoreResp, error) {
+	if err := sh.setup(); err != nil {
+		return nil, err
+	}
+	rels := make(map[string]*mring.Relation, len(req.Frags))
+	for name, f := range req.Frags {
+		r, err := restoreFrag(name, f)
+		if err != nil {
+			return nil, err
+		}
+		rels[name] = r
+	}
+	sh.node.rels = rels
+	for name, r := range rels {
+		sh.schemas[name] = r.Schema()
+	}
+	return &restoreResp{}, nil
 }
 
 // installPayload fills a just-cleared relation from a wire payload the

@@ -200,6 +200,23 @@ func (ex *Executor) ForEachView(f func(name string, r *mring.Relation)) {
 	}
 }
 
+// ForEachViewAll visits every program view INCLUDING transient ones, in
+// program order. Durability snapshots use it: transient views are
+// re-derived per transaction, but their retained table capacity shapes
+// later layouts, so exact recovery must capture them too.
+func (ex *Executor) ForEachViewAll(f func(name string, r *mring.Relation)) {
+	for _, v := range ex.prog.Views {
+		f(v.Name, ex.views[v.Name])
+	}
+}
+
+// LookupView returns a view's relation, or nil when the program has no
+// such view (the non-panicking form of View, for restore-path validation
+// of names read from disk).
+func (ex *Executor) LookupView(name string) *mring.Relation {
+	return ex.views[name]
+}
+
 // MemoryFootprint returns the total number of tuples held across all
 // non-transient materialized views (the Sec. 6.1 memory discussion).
 func (ex *Executor) MemoryFootprint() int {

@@ -71,7 +71,18 @@ func Compile(queryName string, q expr.Expr, bases map[string]mring.Schema, opts 
 		trg := prog.Triggers[r.rel]
 		trg.Stmts = append(trg.Stmts, r.stmt)
 	}
-	for _, trg := range prog.Triggers {
+	// Process triggers in sorted relation order: preAggregate registers
+	// new transient views, so map-order iteration here would make view
+	// order and counter-derived view names differ between two compiles
+	// of the same query — which a durable recovery (recompiling in a new
+	// process and restoring checkpointed views by name) cannot tolerate.
+	rels := make([]string, 0, len(prog.Triggers))
+	for rel := range prog.Triggers {
+		rels = append(rels, rel)
+	}
+	sort.Strings(rels)
+	for _, rel := range rels {
+		trg := prog.Triggers[rel]
 		c.orderTrigger(trg)
 		if opts.PreAggregate {
 			c.preAggregate(prog, trg)

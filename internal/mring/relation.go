@@ -170,6 +170,35 @@ func (r *Relation) Scratch() any { return r.scratch }
 // Len returns the number of tuples with non-zero multiplicity.
 func (r *Relation) Len() int { return r.n }
 
+// TableSize returns the current bucket-table size: 0 before the first
+// insert, otherwise a power of two >= 8 that only ever grows (Clear and
+// deletions keep capacity). Together with the Foreach enumeration order
+// it fully determines the physical layout, so a snapshot recording
+// (TableSize, Foreach sequence) can be restored bitwise via Preseed plus
+// reverse-order re-insertion — see Preseed.
+func (r *Relation) TableSize() int { return len(r.tab) }
+
+// Preseed sets the bucket table of an empty relation to the given size
+// (a power of two >= 8, as produced by TableSize on a non-fresh
+// relation). It exists for exact-layout restore: pre-sizing the table to
+// the snapshot's TableSize means re-inserting the snapshot's rows never
+// triggers grow (n never exceeds the table size the rows previously fit
+// in), and inserting them in REVERSE Foreach order reproduces the
+// original chains exactly — each insert pushes at the chain head, so the
+// last-inserted (first-enumerated) row ends up back at the head.
+// Misuse is a programming error and panics; validation of sizes read
+// from disk belongs to the decode layers.
+func (r *Relation) Preseed(buckets int) {
+	if r.tab != nil || r.n != 0 {
+		panic("mring: Preseed on non-empty relation")
+	}
+	if buckets < 8 || buckets&(buckets-1) != 0 {
+		panic(fmt.Sprintf("mring: Preseed size %d not a power of two >= 8", buckets))
+	}
+	r.tab = make([]*entry, buckets)
+	r.mask = uint64(buckets - 1)
+}
+
 func (r *Relation) hash(t Tuple) uint64 {
 	if r.hashFn != nil {
 		return r.hashFn(t)

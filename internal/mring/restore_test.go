@@ -1,0 +1,148 @@
+package mring
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// snapshotRows captures the Foreach enumeration (the wire order every
+// snapshot encoder uses) plus the bucket-table size.
+func snapshotRows(r *Relation) (rows []Tuple, mults []float64, buckets int) {
+	r.Foreach(func(t Tuple, m float64) {
+		rows = append(rows, t.Clone())
+		mults = append(mults, m)
+	})
+	return rows, mults, r.TableSize()
+}
+
+// restoreExact rebuilds a relation from a (rows-in-Foreach-order,
+// buckets) snapshot the way the durability layer does: preseed to the
+// recorded size, insert in reverse order.
+func restoreExact(schema Schema, rows []Tuple, mults []float64, buckets int) *Relation {
+	r := NewRelation(schema)
+	if buckets > 0 {
+		r.Preseed(buckets)
+	}
+	for i := len(rows) - 1; i >= 0; i-- {
+		r.Add(rows[i], mults[i])
+	}
+	return r
+}
+
+// requireSameLayout asserts two relations have identical physical layout:
+// same bucket-table size and the same Foreach sequence (order AND values).
+func requireSameLayout(t *testing.T, got, want *Relation) {
+	t.Helper()
+	if got.TableSize() != want.TableSize() {
+		t.Fatalf("TableSize: got %d want %d", got.TableSize(), want.TableSize())
+	}
+	var wr []Tuple
+	var wm []float64
+	want.Foreach(func(tp Tuple, m float64) { wr = append(wr, tp); wm = append(wm, m) })
+	i := 0
+	got.Foreach(func(tp Tuple, m float64) {
+		if i >= len(wr) {
+			t.Fatalf("got has more rows than want (%d)", len(wr))
+		}
+		if !tp.Equal(wr[i]) || wm[i] != m {
+			t.Fatalf("row %d: got (%v,%v) want (%v,%v)", i, tp, m, wr[i], wm[i])
+		}
+		i++
+	})
+	if i != len(wr) {
+		t.Fatalf("got %d rows, want %d", i, len(wr))
+	}
+}
+
+// TestRestoreExactLayout is the property the whole durability design
+// rests on: for ANY mutation history — including deletions, which leave
+// the table larger than the row count, and growth, which reverses
+// chains — rebuilding from (TableSize, Foreach order) by preseeding and
+// inserting in reverse reproduces the exact physical layout, so every
+// later Foreach (and therefore every later float fold) enumerates
+// identically on both relations.
+func TestRestoreExactLayout(t *testing.T) {
+	schema := Schema{"k", "v"}
+	for trial := 0; trial < 200; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		r := NewRelation(schema)
+		live := make(map[int64]bool)
+		nOps := rng.Intn(300)
+		for op := 0; op < nOps; op++ {
+			k := int64(rng.Intn(64))
+			switch {
+			case rng.Intn(3) == 0 && live[k]:
+				// Exact cancellation removes the tuple but keeps capacity.
+				tp := Tuple{Int(k), Str("x")}
+				r.Set(tp, 0)
+				live[k] = false
+			default:
+				tp := Tuple{Int(k), Str("x")}
+				r.Add(tp, float64(rng.Intn(5)+1))
+				live[k] = true
+			}
+		}
+		rows, mults, buckets := snapshotRows(r)
+		got := restoreExact(schema, rows, mults, buckets)
+		requireSameLayout(t, got, r)
+
+		// The layout must stay aligned under FURTHER mutations: apply the
+		// same suffix to both and re-compare (this is what recovery replay
+		// does with the WAL tail).
+		for op := 0; op < 50; op++ {
+			k := int64(rng.Intn(64))
+			tp := Tuple{Int(k), Str("x")}
+			m := float64(rng.Intn(7) - 3)
+			r.Add(tp, m)
+			got.Add(tp, m)
+		}
+		requireSameLayout(t, got, r)
+	}
+}
+
+// TestRestoreExactForcedCollisions repeats the layout property with a
+// degenerate hash so every tuple chains into few buckets — chain order,
+// not just bucket membership, is what reverse-insertion must reproduce.
+func TestRestoreExactForcedCollisions(t *testing.T) {
+	schema := Schema{"k"}
+	r := NewRelation(schema)
+	r.hashFn = func(t Tuple) uint64 { return uint64(len(t)) % 2 }
+	for i := 0; i < 40; i++ {
+		r.Add(Tuple{Int(int64(i))}, 1)
+	}
+	for i := 0; i < 40; i += 3 {
+		r.Set(Tuple{Int(int64(i))}, 0)
+	}
+	rows, mults, buckets := snapshotRows(r)
+	got := NewRelation(schema)
+	got.hashFn = r.hashFn
+	got.Preseed(buckets)
+	for i := len(rows) - 1; i >= 0; i-- {
+		got.Add(rows[i], mults[i])
+	}
+	requireSameLayout(t, got, r)
+}
+
+func TestPreseedPanics(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		f    func()
+	}{
+		{"non-empty", func() {
+			r := NewRelation(Schema{"k"})
+			r.Add(Tuple{Int(1)}, 1)
+			r.Preseed(8)
+		}},
+		{"not-power-of-two", func() { NewRelation(Schema{"k"}).Preseed(12) }},
+		{"too-small", func() { NewRelation(Schema{"k"}).Preseed(4) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("expected panic")
+				}
+			}()
+			tc.f()
+		})
+	}
+}

@@ -1,0 +1,113 @@
+package net
+
+import (
+	"fmt"
+
+	"repro/internal/mring"
+)
+
+// MaxRestoreBuckets bounds the bucket-table size a snapshot may ask a
+// restored relation to preseed, so a corrupt size field cannot demand an
+// arbitrary allocation before validation catches it.
+const MaxRestoreBuckets = 1 << 28
+
+// ForeachReverse visits the payload's rows in reverse wire order. This is
+// the exact-layout restore primitive: the encoder wrote rows in the source
+// relation's Foreach order, and re-inserting them in reverse into a table
+// preseeded to the source's bucket count reproduces the source's chains
+// exactly (each insert pushes at the chain head). Tuples passed to f are
+// safe to retain.
+func (p *Payload) ForeachReverse(f func(t mring.Tuple, m float64)) {
+	rows, mults := p.rows, p.mults
+	if p.Batch != nil {
+		// Columnar batches decode through a reused tuple buffer, so
+		// materialize owned copies before walking backwards.
+		rows, mults = nil, nil
+		p.Batch.Foreach(func(t mring.Tuple, m float64) {
+			rows = append(rows, t.Clone())
+			mults = append(mults, m)
+		})
+	}
+	for i := len(rows) - 1; i >= 0; i-- {
+		f(rows[i], mults[i])
+	}
+}
+
+// validateBuckets checks a snapshot's recorded bucket-table size against
+// the row count it claims to have held. buckets == 0 means the source
+// relation never allocated a table (only possible when it is empty).
+func validateBuckets(buckets, rows int) error {
+	if buckets == 0 {
+		if rows != 0 {
+			return fmt.Errorf("inet: snapshot has %d rows but no bucket table", rows)
+		}
+		return nil
+	}
+	if buckets < 8 || buckets > MaxRestoreBuckets || buckets&(buckets-1) != 0 {
+		return fmt.Errorf("inet: snapshot bucket count %d is not a power of two in [8, %d]", buckets, MaxRestoreBuckets)
+	}
+	if rows > buckets {
+		return fmt.Errorf("inet: snapshot has %d rows in a %d-bucket table", rows, buckets)
+	}
+	return nil
+}
+
+// RestoreIntoExact rebuilds dst — which must be empty and fresh (no
+// bucket table yet) — from an EncodeRelationPlain payload so that dst's
+// physical layout is bitwise-identical to the encoder's source relation:
+// same bucket-table size, same chains, same Foreach enumeration order.
+// That order is load-bearing for the engine's float-fold determinism, so
+// recovery restores state through this path rather than a plain rebuild.
+// buckets is the source's TableSize; payload may be nil/empty for an
+// empty source (then only capacity is restored). Corrupt input returns a
+// descriptive error and never panics.
+func RestoreIntoExact(dst *mring.Relation, payload []byte, buckets int) error {
+	if len(payload) == 0 {
+		if err := validateBuckets(buckets, 0); err != nil {
+			return err
+		}
+		if buckets > 0 {
+			dst.Preseed(buckets)
+		}
+		return nil
+	}
+	p, err := DecodePayload(payload)
+	if err != nil {
+		return err
+	}
+	if len(p.Schema) != len(dst.Schema()) {
+		return fmt.Errorf("inet: snapshot schema arity %d does not match relation arity %d", len(p.Schema), len(dst.Schema()))
+	}
+	if err := validateBuckets(buckets, p.Len()); err != nil {
+		return err
+	}
+	if buckets > 0 {
+		dst.Preseed(buckets)
+		p.ForeachReverse(dst.Add)
+		return nil
+	}
+	// No recorded size (legacy snapshot): contents-only rebuild in wire
+	// order. Correct values, but no layout guarantee.
+	p.Foreach(dst.Add)
+	return nil
+}
+
+// RestoreRelationExact is RestoreIntoExact for callers that do not hold a
+// pre-created relation: the schema comes from the payload itself, or from
+// fallback when the payload is empty (empty relations encode to nil, which
+// carries no schema).
+func RestoreRelationExact(payload []byte, buckets int, fallback mring.Schema) (*mring.Relation, error) {
+	schema := fallback
+	if len(payload) > 0 {
+		p, err := DecodePayload(payload)
+		if err != nil {
+			return nil, err
+		}
+		schema = p.Schema
+	}
+	r := mring.NewRelation(schema)
+	if err := RestoreIntoExact(r, payload, buckets); err != nil {
+		return nil, err
+	}
+	return r, nil
+}

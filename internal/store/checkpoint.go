@@ -1,0 +1,189 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Checkpoint file layout:
+//
+//	"IVCK" | version byte | u64 BE seq | u32 BE len(body) | body | u32 BE crc
+//
+// The CRC covers everything before it. body is opaque to the store — the
+// engine passes cluster.EncodeCheckpoint output, which carries its own
+// magic/format-version header. seq is the engine's delta-stream sequence
+// number at snapshot time, so subscriber sequence numbering continues
+// exactly after recovery. Files land via write-to-temp + fsync + rename
+// + directory fsync, so a crash mid-write never leaves a half checkpoint
+// under the final name.
+const (
+	ckptMagic   = "IVCK"
+	ckptVersion = 1
+)
+
+func ckptName(gen uint64) string { return fmt.Sprintf("checkpoint-%d.ckpt", gen) }
+func walName(gen uint64) string  { return fmt.Sprintf("wal-%d.log", gen) }
+
+// parseGen extracts <gen> from names like prefix-<gen>suffix.
+func parseGen(name, prefix, suffix string) (uint64, bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+		return 0, false
+	}
+	mid := strings.TrimSuffix(strings.TrimPrefix(name, prefix), suffix)
+	g, err := strconv.ParseUint(mid, 10, 64)
+	return g, err == nil
+}
+
+func encodeCheckpointFile(seq int64, body []byte) []byte {
+	buf := make([]byte, 0, len(ckptMagic)+1+8+4+len(body)+4)
+	buf = append(buf, ckptMagic...)
+	buf = append(buf, ckptVersion)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(seq))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(body)))
+	buf = append(buf, body...)
+	return binary.BigEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+}
+
+func decodeCheckpointFile(data []byte) (seq int64, body []byte, err error) {
+	head := len(ckptMagic) + 1 + 8 + 4
+	if len(data) < head+4 {
+		return 0, nil, fmt.Errorf("store: checkpoint file too short (%d bytes)", len(data))
+	}
+	if string(data[:len(ckptMagic)]) != ckptMagic {
+		return 0, nil, fmt.Errorf("store: bad checkpoint magic %q", data[:len(ckptMagic)])
+	}
+	if v := data[len(ckptMagic)]; v != ckptVersion {
+		return 0, nil, fmt.Errorf("store: unsupported checkpoint version %d (have %d)", v, ckptVersion)
+	}
+	seq = int64(binary.BigEndian.Uint64(data[len(ckptMagic)+1:]))
+	blen := int(binary.BigEndian.Uint32(data[len(ckptMagic)+9:]))
+	if blen < 0 || len(data) != head+blen+4 {
+		return 0, nil, fmt.Errorf("store: checkpoint body length %d does not match file size %d", blen, len(data))
+	}
+	crc := binary.BigEndian.Uint32(data[head+blen:])
+	if crc32.ChecksumIEEE(data[:head+blen]) != crc {
+		return 0, nil, fmt.Errorf("store: checkpoint crc mismatch")
+	}
+	return seq, data[head : head+blen : head+blen], nil
+}
+
+// writeCheckpointFile writes checkpoint-<gen>.ckpt atomically.
+func writeCheckpointFile(dir string, gen uint64, seq int64, body []byte) error {
+	tmp, err := os.CreateTemp(dir, "checkpoint-*.tmp")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(encodeCheckpointFile(seq, body)); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, ckptName(gen))); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// listGens returns the sorted generations present for the given file
+// name pattern (checkpoints or WAL segments).
+func listGens(dir, prefix, suffix string) ([]uint64, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var gens []uint64
+	for _, e := range ents {
+		if g, ok := parseGen(e.Name(), prefix, suffix); ok {
+			gens = append(gens, g)
+		}
+	}
+	sort.Slice(gens, func(i, j int) bool { return gens[i] < gens[j] })
+	return gens, nil
+}
+
+// latestCheckpoint finds the newest checkpoint file that validates,
+// counting how many newer ones had to be skipped as corrupt. ok is false
+// when no valid checkpoint exists.
+func latestCheckpoint(dir string) (gen uint64, seq int64, body []byte, skipped int, ok bool, err error) {
+	gens, err := listGens(dir, "checkpoint-", ".ckpt")
+	if err != nil {
+		return 0, 0, nil, 0, false, err
+	}
+	for i := len(gens) - 1; i >= 0; i-- {
+		data, rerr := os.ReadFile(filepath.Join(dir, ckptName(gens[i])))
+		if rerr == nil {
+			if s, b, derr := decodeCheckpointFile(data); derr == nil {
+				return gens[i], s, b, skipped, true, nil
+			}
+		}
+		skipped++
+	}
+	return 0, 0, nil, skipped, false, nil
+}
+
+// gc removes checkpoint generations beyond the newest `retain` and any
+// WAL segments older than the oldest retained checkpoint (a fallback
+// restore from that checkpoint still needs its tail). Best-effort: a
+// failed unlink is reported but the store stays usable.
+func gc(dir string, retain int) error {
+	if retain < 1 {
+		retain = 1
+	}
+	ckpts, err := listGens(dir, "checkpoint-", ".ckpt")
+	if err != nil {
+		return err
+	}
+	var firstErr error
+	keepFrom := uint64(0)
+	if len(ckpts) > retain {
+		for _, g := range ckpts[:len(ckpts)-retain] {
+			if err := os.Remove(filepath.Join(dir, ckptName(g))); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		ckpts = ckpts[len(ckpts)-retain:]
+	}
+	if len(ckpts) > 0 {
+		keepFrom = ckpts[0]
+	}
+	segs, err := listGens(dir, "wal-", ".log")
+	if err != nil {
+		if firstErr == nil {
+			firstErr = err
+		}
+		return firstErr
+	}
+	for _, g := range segs {
+		if g < keepFrom {
+			if err := os.Remove(filepath.Join(dir, walName(g))); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	return firstErr
+}

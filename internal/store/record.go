@@ -1,0 +1,164 @@
+// Package store is the durability subsystem: a write-ahead log of
+// committed transactions plus a versioned checkpoint store, both under
+// one directory. The engine appends a WAL record per accepted
+// transaction BEFORE acking it, periodically snapshots its full state
+// into a checkpoint file, and on reopen restores the newest valid
+// checkpoint and replays only the WAL tail written since — recovery cost
+// is proportional to the log since the last checkpoint, never a full
+// re-evaluation from base tables.
+//
+// Layout of a store directory:
+//
+//	checkpoint-<gen>.ckpt   snapshot closing generation <gen>
+//	wal-<gen>.log           records accepted during generation <gen>
+//
+// A checkpoint at generation g captures every record in segments < g, so
+// recovery = newest valid checkpoint g* + replay of segments >= g*.
+// Records reuse the internal/net payload codec for table contents and
+// the same frame-style bounds-guarded decoding discipline: every length
+// is checked against the remaining bytes before use, and arbitrary input
+// can never panic the decoder (FuzzWALDecode pins this).
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	inet "repro/internal/net"
+)
+
+// Record kinds. A tx record is one accepted transaction (the per-table
+// delta batches in fold order); a warm record is a bulk Warm load (the
+// full base-table contents). Replaying records in sequence through the
+// engine's normal maintenance path reproduces its state bitwise.
+const (
+	RecTx   byte = 1
+	RecWarm byte = 2
+)
+
+// MaxRecord bounds a WAL record body, mirroring the transport's frame
+// cap so a corrupt length field cannot demand an arbitrary allocation.
+const MaxRecord = inet.MaxFrame
+
+// TableFrag is one table's contents inside a record: the batch (or base
+// table, for warm records) encoded with inet.EncodeRelationPlain, plus
+// the relation's bucket-table size so replay can rebuild the exact
+// physical layout (see inet.RestoreIntoExact). An empty relation has a
+// nil Payload; its schema is resolved from the program's base schemas.
+type TableFrag struct {
+	Table   string
+	Buckets int
+	Payload []byte
+}
+
+// Record is one WAL entry. Tables preserve the transaction's fold order.
+type Record struct {
+	Kind   byte
+	Tables []TableFrag
+}
+
+// Tuples returns the total row count across the record's fragments (for
+// recovery stats). Undecodable fragments count zero; replay will reject
+// them properly.
+func (r Record) Tuples() int {
+	n := 0
+	for _, tf := range r.Tables {
+		if len(tf.Payload) == 0 {
+			continue
+		}
+		if p, err := inet.DecodePayload(tf.Payload); err == nil {
+			n += p.Len()
+		}
+	}
+	return n
+}
+
+// EncodeRecord serializes a record body (framing is added by the WAL
+// writer): kind byte, uvarint table count, then per table uvarint-length
+// name, uvarint bucket count, uvarint-length payload.
+func EncodeRecord(r Record) []byte {
+	size := 1 + binary.MaxVarintLen64
+	for _, tf := range r.Tables {
+		size += 3*binary.MaxVarintLen64 + len(tf.Table) + len(tf.Payload)
+	}
+	buf := make([]byte, 0, size)
+	buf = append(buf, r.Kind)
+	buf = binary.AppendUvarint(buf, uint64(len(r.Tables)))
+	for _, tf := range r.Tables {
+		buf = binary.AppendUvarint(buf, uint64(len(tf.Table)))
+		buf = append(buf, tf.Table...)
+		buf = binary.AppendUvarint(buf, uint64(tf.Buckets))
+		buf = binary.AppendUvarint(buf, uint64(len(tf.Payload)))
+		buf = append(buf, tf.Payload...)
+	}
+	return buf
+}
+
+// uvarint decodes a varint from b, rejecting values over the given cap.
+func uvarint(b []byte, max uint64, what string) (uint64, []byte, error) {
+	v, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("store: truncated %s", what)
+	}
+	if v > max {
+		return 0, nil, fmt.Errorf("store: %s %d exceeds cap %d", what, v, max)
+	}
+	return v, b[n:], nil
+}
+
+// DecodeRecord parses a record body. It is strict: unknown kinds, any
+// out-of-bounds length, an invalid bucket count, or trailing bytes are
+// errors. It never panics on arbitrary input.
+func DecodeRecord(body []byte) (Record, error) {
+	var rec Record
+	if len(body) == 0 {
+		return rec, fmt.Errorf("store: empty record body")
+	}
+	rec.Kind = body[0]
+	if rec.Kind != RecTx && rec.Kind != RecWarm {
+		return rec, fmt.Errorf("store: unknown record kind %d", rec.Kind)
+	}
+	b := body[1:]
+	// Each table needs at least 3 bytes (empty name, zero buckets, empty
+	// payload), so the count is bounded by the remaining length.
+	ntab, b, err := uvarint(b, uint64(len(b)), "table count")
+	if err != nil {
+		return rec, err
+	}
+	rec.Tables = make([]TableFrag, 0, ntab)
+	for i := uint64(0); i < ntab; i++ {
+		var tf TableFrag
+		nameLen, rest, err := uvarint(b, uint64(len(b)), "table name length")
+		if err != nil {
+			return rec, err
+		}
+		if uint64(len(rest)) < nameLen {
+			return rec, fmt.Errorf("store: table name overruns record")
+		}
+		tf.Table, b = string(rest[:nameLen]), rest[nameLen:]
+		buckets, rest2, err := uvarint(b, inet.MaxRestoreBuckets, "bucket count")
+		if err != nil {
+			return rec, err
+		}
+		if buckets != 0 && (buckets < 8 || buckets&(buckets-1) != 0) {
+			return rec, fmt.Errorf("store: bucket count %d is not a power of two >= 8", buckets)
+		}
+		tf.Buckets, b = int(buckets), rest2
+		plen, rest3, err := uvarint(b, uint64(len(rest2)), "payload length")
+		if err != nil {
+			return rec, err
+		}
+		if uint64(len(rest3)) < plen {
+			return rec, fmt.Errorf("store: payload overruns record")
+		}
+		if plen > 0 {
+			tf.Payload = rest3[:plen:plen]
+		}
+		b = rest3[plen:]
+		rec.Tables = append(rec.Tables, tf)
+	}
+	if len(b) != 0 {
+		return rec, fmt.Errorf("store: %d trailing bytes after record", len(b))
+	}
+	return rec, nil
+}

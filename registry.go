@@ -85,16 +85,35 @@ func (r *Registry) ensure() error {
 	if err != nil {
 		return err
 	}
+	// Recovery runs before init starts the tuner loop (and under beMu,
+	// which the loop's ticks also take), so the backend is exclusively
+	// ours while the checkpoint restores and the WAL tail replays.
+	r.prog, r.be = prog, be
+	if err := r.attachDurability(&r.cfg); err != nil {
+		be.Close()
+		return err
+	}
 	r.init(prog, be, newTuner(&r.cfg))
 	r.built = true
 	return nil
 }
 
 // Close shuts the registry down: pending coalesced batches are flushed,
-// the backend (including remote worker connections) is released, and
-// every later Apply/Warm/Subscribe returns an error wrapping ErrClosed.
-// Close is idempotent; it returns the first flush or shutdown error.
+// on a durable registry the WAL flushes and a final checkpoint is
+// written (so reopening recovers with zero replay), the backend
+// (including remote worker connections) is released, and every later
+// Apply/Warm/Subscribe returns an error wrapping ErrClosed. Close is
+// idempotent; it returns the first flush or shutdown error.
 func (r *Registry) Close() error { return r.close() }
+
+// Checkpoint forces a durability checkpoint now (see
+// Engine.Checkpoint). Returns an error on a non-durable registry.
+func (r *Registry) Checkpoint() error {
+	if err := r.ensure(); err != nil {
+		return err
+	}
+	return r.forceCheckpoint()
+}
 
 // top resolves a registered view name to its shared top view.
 func (r *Registry) top(name string) (string, error) {

@@ -35,6 +35,9 @@ type Stats struct {
 	// Tuning is the adaptive controller's state; Enabled is false (and
 	// the rest zero) without the AutoTune option.
 	Tuning TuningStats
+	// Durability is the WAL/checkpoint subsystem's state; Enabled is
+	// false (and the rest zero) without the Durable option.
+	Durability DurabilityStats
 }
 
 // WorkerTiming is one worker's accumulated stage timing (see
